@@ -1,0 +1,337 @@
+// Package aurora is the public API of the Aurora single-level-store
+// reproduction: a simulated operating system that provides persistence as
+// an OS service, after "The Aurora Single Level Store Operating System"
+// (SOSP 2021).
+//
+// A Machine is one simulated computer: a virtual clock, four striped NVMe
+// devices, the Aurora object store and file system, a POSIX kernel, and the
+// SLS orchestrator. Applications are processes in that kernel; their memory
+// lives behind a simulated MMU, which is what lets the store checkpoint
+// them continuously and restore them after a crash:
+//
+//	m, _ := aurora.NewMachine(aurora.Defaults())
+//	p := m.Spawn("myapp")
+//	g, _ := m.Attach("myapp", p)          // sls attach
+//	... the app runs; g checkpoints it every 10 ms ...
+//	m2, _ := m.Crash()                    // power loss + reboot
+//	g2, _, _ := m2.Restore("myapp")       // the app resumes
+//
+// The types behind processes, groups, journals, and stats are aliased from
+// the implementation packages so the whole surface is reachable from this
+// package.
+package aurora
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/kern"
+	"aurora/internal/mem"
+	"aurora/internal/objstore"
+	"aurora/internal/sls"
+	"aurora/internal/slsfs"
+	"aurora/internal/vm"
+)
+
+// Re-exported types: the public names for the system's objects.
+type (
+	// Proc is a simulated process.
+	Proc = kern.Proc
+	// Thread is a simulated kernel thread.
+	Thread = kern.Thread
+	// CPUState is the per-thread register file.
+	CPUState = kern.CPUState
+	// Kernel is the simulated POSIX kernel.
+	Kernel = kern.Kernel
+	// Group is a consistency group — the unit of atomic persistence.
+	Group = sls.Group
+	// Orchestrator is the SLS core.
+	Orchestrator = sls.Orchestrator
+	// CheckpointStats reports one checkpoint.
+	CheckpointStats = sls.CheckpointStats
+	// RestoreStats reports one restore.
+	RestoreStats = sls.RestoreStats
+	// Journal is an sls_journal write-ahead log.
+	Journal = objstore.Journal
+	// Epoch numbers checkpoints in the store.
+	Epoch = objstore.Epoch
+	// OID names an object in the store.
+	OID = objstore.OID
+	// Signal is a POSIX signal number.
+	Signal = kern.Signal
+	// Prot is a memory protection mask.
+	Prot = vm.Prot
+)
+
+// Re-exported constants.
+const (
+	ProtRead  = vm.ProtRead
+	ProtWrite = vm.ProtWrite
+	ProtExec  = vm.ProtExec
+
+	CkptIncremental = sls.CkptIncremental
+	CkptFull        = sls.CkptFull
+	CkptMemOnly     = sls.CkptMemOnly
+
+	RestoreEager = sls.RestoreFull
+	RestoreLazy  = sls.RestoreLazy
+
+	SIGCHLD    = kern.SIGCHLD
+	SIGRESTORE = kern.SIGRESTORE
+	SIGTERM    = kern.SIGTERM
+	SIGUSR1    = kern.SIGUSR1
+
+	ORead     = kern.ORead
+	OWrite    = kern.OWrite
+	ONonblock = kern.ONonblock
+	OAppend   = kern.OAppend
+
+	SockUnix = kern.KindSocketUnix
+	SockUDP  = kern.KindSocketUDP
+	SockTCP  = kern.KindSocketTCP
+
+	PageSize = vm.PageSize
+)
+
+// Config sizes a Machine.
+type Config struct {
+	// StorageBytes is the total capacity of the striped store devices.
+	StorageBytes int64
+	// MemoryBytes caps simulated physical memory; 0 is unlimited.
+	MemoryBytes int64
+	// Devices is the stripe width (the paper uses 4).
+	Devices int
+	// StripeUnit is the stripe chunk (the paper uses 64 KiB).
+	StripeUnit int64
+	// Costs overrides the calibrated cost model; nil uses DefaultCosts.
+	Costs *clock.Costs
+}
+
+// Defaults returns the paper's testbed configuration scaled for a laptop.
+func Defaults() Config {
+	return Config{
+		StorageBytes: 8 << 30,
+		Devices:      4,
+		StripeUnit:   64 << 10,
+	}
+}
+
+// Machine is one simulated computer.
+type Machine struct {
+	Clock *clock.Virtual
+	Costs *clock.Costs
+	Disk  *device.Stripe
+	Store *objstore.Store
+	FS    *slsfs.FS
+	K     *kern.Kernel
+	SLS   *sls.Orchestrator
+}
+
+// NewMachine boots a machine with freshly formatted storage.
+func NewMachine(cfg Config) (*Machine, error) {
+	return build(cfg, nil, nil, true)
+}
+
+// build assembles a machine; when disk is non-nil the store is recovered
+// from it instead of formatted, and the timeline continues on clk.
+func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool) (*Machine, error) {
+	if cfg.Devices == 0 {
+		cfg.Devices = 4
+	}
+	if cfg.StripeUnit == 0 {
+		cfg.StripeUnit = 64 << 10
+	}
+	if cfg.StorageBytes == 0 {
+		cfg.StorageBytes = 8 << 30
+	}
+	costs := cfg.Costs
+	if costs == nil {
+		costs = clock.DefaultCosts()
+	}
+	if clk == nil {
+		clk = clock.NewVirtual()
+	}
+	if disk == nil {
+		disk = device.NewStripe(clk, costs, cfg.Devices, cfg.StripeUnit, cfg.StorageBytes/int64(cfg.Devices))
+	}
+
+	var (
+		store *objstore.Store
+		err   error
+	)
+	if format {
+		store, err = objstore.Format(disk, clk, costs)
+	} else {
+		store, err = objstore.Recover(disk, clk, costs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var fs *slsfs.FS
+	if format {
+		fs, err = slsfs.Format(store, clk, costs)
+	} else {
+		fs, err = slsfs.Recover(store, clk, costs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	vmsys := vm.NewSystem(mem.New(cfg.MemoryBytes), clk, costs)
+	k := kern.New(clk, costs, vmsys, fs)
+	m := &Machine{
+		Clock: clk,
+		Costs: costs,
+		Disk:  disk,
+		Store: store,
+		FS:    fs,
+		K:     k,
+		SLS:   sls.New(k, store),
+	}
+	return m, nil
+}
+
+// Crash simulates power loss and reboot: all volatile state (kernel,
+// processes, memory) is gone; the returned machine recovered its store
+// from the last complete checkpoint on the same disks. The virtual
+// timeline continues across the crash.
+func (m *Machine) Crash() (*Machine, error) {
+	return build(Config{Costs: m.Costs}, m.Disk, m.Clock, false)
+}
+
+// SaveImage writes the machine's disk contents to w; BootImage brings the
+// machine back from it — the persistence boundary the sls CLI uses between
+// invocations.
+func (m *Machine) SaveImage(w io.Writer) error { return m.Disk.Save(w) }
+
+// BootImage loads a saved disk image and boots a machine from it,
+// recovering the store from the last complete checkpoint.
+func BootImage(r io.Reader, cfg Config) (*Machine, error) {
+	costs := cfg.Costs
+	if costs == nil {
+		costs = clock.DefaultCosts()
+	}
+	clk := clock.NewVirtual()
+	disk, err := device.LoadStripe(clk, costs, r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Costs = costs
+	return build(cfg, disk, clk, false)
+}
+
+// PersistedGroups lists group names recorded on disk (sls ps after boot).
+func (m *Machine) PersistedGroups() ([]string, error) {
+	return sls.ManifestGroups(m.Store)
+}
+
+// Spawn creates a new process.
+func (m *Machine) Spawn(name string) *Proc { return m.K.NewProc(name) }
+
+// Attach creates (or reuses) a named consistency group and attaches the
+// process tree rooted at p — the sls attach command.
+func (m *Machine) Attach(group string, p *Proc) (*Group, error) {
+	g, ok := m.SLS.GroupByName(group)
+	if !ok {
+		g = m.SLS.CreateGroup(group)
+	}
+	if err := g.Attach(p); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Group finds a named consistency group.
+func (m *Machine) Group(name string) (*Group, bool) { return m.SLS.GroupByName(name) }
+
+// Checkpoint takes an incremental checkpoint of the named group —
+// the sls checkpoint command.
+func (m *Machine) Checkpoint(group string) (CheckpointStats, error) {
+	g, ok := m.SLS.GroupByName(group)
+	if !ok {
+		return CheckpointStats{}, fmt.Errorf("aurora: no group %q", group)
+	}
+	return g.Checkpoint(CkptIncremental)
+}
+
+// Restore rebuilds the named group from the store's last complete
+// checkpoint — the sls restore command after a crash.
+func (m *Machine) Restore(group string) (*Group, RestoreStats, error) {
+	return m.SLS.RestoreGroup(group, m.Store, RestoreEager, true)
+}
+
+// RestoreLazily is Restore with on-demand page loading.
+func (m *Machine) RestoreLazily(group string) (*Group, RestoreStats, error) {
+	return m.SLS.RestoreGroup(group, m.Store, RestoreLazy, true)
+}
+
+// RestoreAt rebuilds the named group as of a retained checkpoint epoch —
+// time-travel restore.
+func (m *Machine) RestoreAt(group string, epoch Epoch) (*Group, RestoreStats, error) {
+	view, err := m.Store.RestoreView(epoch)
+	if err != nil {
+		return nil, RestoreStats{}, err
+	}
+	return m.SLS.RestoreGroup(group, view, RestoreEager, false)
+}
+
+// Suspend checkpoints the named group and terminates its processes; the
+// application stays on disk, restorable with Restore — sls suspend.
+func (m *Machine) Suspend(group string) error {
+	g, ok := m.SLS.GroupByName(group)
+	if !ok {
+		return fmt.Errorf("aurora: no group %q", group)
+	}
+	return g.Suspend()
+}
+
+// MigrateTo live-migrates the named group to another machine with
+// iterative pre-copy (§10): a full round, `rounds` delta rounds while the
+// application runs (work is called between them), and a final short
+// stop-and-copy. The group resumes on dst.
+func (m *Machine) MigrateTo(dst *Machine, group string, rounds int, work func() error) (*Group, sls.MigrateStats, error) {
+	g, ok := m.SLS.GroupByName(group)
+	if !ok {
+		return nil, sls.MigrateStats{}, fmt.Errorf("aurora: no group %q", group)
+	}
+	return g.Migrate(dst.SLS, rounds, work)
+}
+
+// ReplicateTo seeds a warm standby of the named group on dst and returns
+// the replication handle (Sync ships deltas; Failover takes over).
+func (m *Machine) ReplicateTo(dst *Machine, group string) (*sls.Replica, error) {
+	g, ok := m.SLS.GroupByName(group)
+	if !ok {
+		return nil, fmt.Errorf("aurora: no group %q", group)
+	}
+	return g.ReplicateTo(dst.SLS)
+}
+
+// History lists restorable checkpoint epochs.
+func (m *Machine) History() []Epoch { return m.Store.RetainedCheckpoints() }
+
+// Now returns the machine's virtual time.
+func (m *Machine) Now() time.Duration { return m.Clock.Now() }
+
+// RunPeriodic drives the named group's periodic checkpointing for the given
+// virtual duration while fn runs the application workload. fn is called
+// repeatedly until the duration elapses; checkpoints trigger between calls,
+// exactly as the orchestrator's timer would.
+func (m *Machine) RunPeriodic(group string, dur time.Duration, fn func() error) error {
+	g, ok := m.SLS.GroupByName(group)
+	if !ok {
+		return fmt.Errorf("aurora: no group %q", group)
+	}
+	start := m.Clock.Now()
+	for m.Clock.Now()-start < dur {
+		if err := fn(); err != nil {
+			return err
+		}
+		if _, _, err := g.MaybePeriodic(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+// Command filebench runs the FileBench workloads (§9.1) against any of the
+// simulated file systems: the Aurora file system, FFS (SU+J), or ZFS (with
+// or without checksums).
+//
+//	filebench -fs aurora -workload varmail
+//	filebench -fs zfs -workload randomwrite -iosize 65536
+//	filebench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/filebench"
+	"aurora/internal/fsbase"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/vfs"
+)
+
+var workloads = map[string]func(vfs.FileSystem, filebench.Config) (filebench.Result, error){
+	"randomwrite": filebench.RandomWrite,
+	"seqwrite":    filebench.SeqWrite,
+	"createfiles": filebench.CreateFiles,
+	"writefsync":  filebench.WriteFsync,
+	"fileserver":  filebench.FileServer,
+	"varmail":     filebench.VarMail,
+	"webserver":   filebench.WebServer,
+}
+
+var fsNames = []string{"aurora", "ffs", "zfs", "zfs+csum"}
+
+func main() {
+	fsName := flag.String("fs", "aurora", "file system: aurora, ffs, zfs, zfs+csum")
+	wlName := flag.String("workload", "randomwrite", "workload name")
+	iosize := flag.Int("iosize", 4096, "IO size in bytes")
+	dur := flag.Duration("duration", 400*time.Millisecond, "virtual run duration")
+	all := flag.Bool("all", false, "run every workload on every file system")
+	flag.Parse()
+
+	if *all {
+		for name := range workloads {
+			for _, fs := range fsNames {
+				if err := run(fs, name, *iosize, *dur); err != nil {
+					fmt.Fprintln(os.Stderr, "filebench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		return
+	}
+	if _, ok := workloads[*wlName]; !ok {
+		fmt.Fprintf(os.Stderr, "filebench: unknown workload %q\n", *wlName)
+		os.Exit(2)
+	}
+	if err := run(*fsName, *wlName, *iosize, *dur); err != nil {
+		fmt.Fprintln(os.Stderr, "filebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fsName, wlName string, iosize int, dur time.Duration) error {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	var fs vfs.FileSystem
+	switch fsName {
+	case "aurora":
+		dev := device.NewStripe(clk, costs, 4, 64<<10, 4<<30)
+		store, err := objstore.Format(dev, clk, costs)
+		if err != nil {
+			return err
+		}
+		afs, err := slsfs.Format(store, clk, costs)
+		if err != nil {
+			return err
+		}
+		afs.SetCheckpointPeriod(10 * time.Millisecond)
+		fs = afs
+	case "ffs":
+		fs = fsbase.New(clk, device.NewStripe(clk, costs, 4, 64<<10, 4<<30), fsbase.FFS())
+	case "zfs":
+		fs = fsbase.New(clk, device.NewStripe(clk, costs, 4, 64<<10, 4<<30), fsbase.ZFS(false))
+	case "zfs+csum":
+		fs = fsbase.New(clk, device.NewStripe(clk, costs, 4, 64<<10, 4<<30), fsbase.ZFS(true))
+	default:
+		return fmt.Errorf("unknown file system %q", fsName)
+	}
+	res, err := workloads[wlName](fs, filebench.Config{
+		Clock:    clk,
+		Duration: dur,
+		IOSize:   iosize,
+		FileSize: 256 << 20,
+		NFiles:   64,
+		Seed:     1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.String())
+	return nil
+}

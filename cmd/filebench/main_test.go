@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFilebenchCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "filebench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-fs", "aurora", "-workload", "varmail", "-duration", "30ms").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "varmail") || !strings.Contains(string(out), "ops/s") {
+		t.Fatalf("output: %s", out)
+	}
+	if err := exec.Command(bin, "-fs", "ntfs").Run(); err == nil {
+		t.Fatal("unknown fs accepted")
+	}
+	if err := exec.Command(bin, "-workload", "compile-kernel").Run(); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

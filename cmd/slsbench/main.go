@@ -1,0 +1,90 @@
+// Command slsbench regenerates the paper's evaluation (§9): one subcommand
+// per table and figure, printing the same rows or series the paper reports.
+//
+//	slsbench all                 # everything, full scale
+//	slsbench -quick all          # everything, CI-sized
+//	slsbench table5 fig4         # a subset
+//
+// Experiments: table1, fig3a, fig3b, fig3c, fig3d, table4, table5, table6,
+// fig4, fig5, fig6, table7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aurora/internal/experiments"
+)
+
+type runner struct {
+	name string
+	fn   func(experiments.Scale) (renderer, error)
+}
+
+type renderer interface{ Render() string }
+
+// wrap adapts the typed experiment functions.
+func wrap[T renderer](fn func(experiments.Scale) (T, error)) func(experiments.Scale) (renderer, error) {
+	return func(s experiments.Scale) (renderer, error) { return fn(s) }
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "CI-sized working sets")
+	flag.Parse()
+
+	scale := experiments.Full
+	if *quick {
+		scale = experiments.Quick
+	}
+
+	all := []runner{
+		{"table1", wrap(experiments.Table1)},
+		{"fig3a", wrap(experiments.Fig3a)},
+		{"fig3b", wrap(experiments.Fig3b)},
+		{"fig3c", wrap(experiments.Fig3c)},
+		{"fig3d", wrap(experiments.Fig3d)},
+		{"table4", func(experiments.Scale) (renderer, error) { return experiments.Table4() }},
+		{"table5", wrap(experiments.Table5)},
+		{"table6", wrap(experiments.Table6)},
+		{"fig4", wrap(experiments.Fig4)},
+		{"fig5", wrap(experiments.Fig5)},
+		{"fig6", wrap(experiments.Fig6)},
+		{"table7", wrap(experiments.Table7)},
+	}
+	byName := map[string]runner{}
+	for _, r := range all {
+		byName[r.name] = r
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: slsbench [-quick] all | EXPERIMENT...")
+		os.Exit(2)
+	}
+	var todo []runner
+	for _, a := range args {
+		if a == "all" {
+			todo = all
+			break
+		}
+		r, ok := byName[a]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "slsbench: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		todo = append(todo, r)
+	}
+
+	for _, r := range todo {
+		start := time.Now()
+		res, err := r.fn(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slsbench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s completed in %v wall time]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlsbenchQuickTable5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := filepath.Join(t.TempDir(), "slsbench")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-quick", "table5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"Table 5", "Incremental", "Journaled", "4.0 KiB"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Unknown experiments are rejected.
+	if err := exec.Command(bin, "not-an-experiment").Run(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := exec.Command(bin).Run(); err == nil {
+		t.Fatal("no-args accepted")
+	}
+}

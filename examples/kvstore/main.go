@@ -1,0 +1,215 @@
+// kvstore: the paper's RocksDB result in miniature (§9.6).
+//
+// A key-value store built *for* a single level store needs no storage
+// engine: the memtable is the database (Aurora persists it), and a
+// write-ahead journal (sls_journal) covers the window since the last
+// checkpoint. The paper replaced 81k lines of RocksDB persistence code with
+// 109 lines of this pattern — and gained 75% throughput.
+//
+// This example builds the store, commits writes through the journal,
+// crashes the machine, and recovers: checkpointed state comes back through
+// the SLS, and the journal replays the tail.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"aurora"
+)
+
+// kv is the whole "database engine". State lives in simulated process
+// memory (an append-only record arena); the Go map is a rebuildable index.
+type kv struct {
+	p     *aurora.Proc
+	g     *aurora.Group
+	j     *aurora.Journal
+	arena uint64
+	tail  int64
+	index map[string]int64 // key -> arena offset of value record
+}
+
+const arenaSize = 4 << 20
+
+func open(m *aurora.Machine, name string) (*kv, error) {
+	p := m.Spawn(name)
+	arena, err := p.Mmap(arenaSize, aurora.ProtRead|aurora.ProtWrite, false)
+	if err != nil {
+		return nil, err
+	}
+	g, err := m.Attach(name, p)
+	if err != nil {
+		return nil, err
+	}
+	j, err := g.Journal("wal", 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	return &kv{p: p, g: g, j: j, arena: arena, index: map[string]int64{}}, nil
+}
+
+// put appends the record to the arena (memory) and the journal (synchronous
+// durability), exactly the paper's pattern: disable nothing, serialize
+// nothing, flush nothing — the journal IS the WAL and Aurora IS the engine.
+func (s *kv) put(key, val string) error {
+	rec := encode(key, val)
+	if err := s.p.WriteMem(s.arena+8+uint64(s.tail), rec); err != nil {
+		return err
+	}
+	s.index[key] = s.tail
+	s.tail += int64(len(rec))
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], uint64(s.tail))
+	if err := s.p.WriteMem(s.arena, t[:]); err != nil {
+		return err
+	}
+	// Synchronous commit: ~28 us for a small record (Table 5).
+	_, err := s.j.Append(rec)
+	return err
+}
+
+func (s *kv) get(key string) (string, bool) {
+	off, ok := s.index[key]
+	if !ok {
+		return "", false
+	}
+	_, v := decodeAt(s.p, s.arena+8+uint64(off))
+	return v, true
+}
+
+// checkpointAndTrim is the WAL-full path: checkpoint (the memtable is now
+// durable), wait for the barrier, truncate the journal.
+func (s *kv) checkpointAndTrim() error {
+	if _, err := s.g.Checkpoint(aurora.CkptIncremental); err != nil {
+		return err
+	}
+	if err := s.g.Barrier(); err != nil {
+		return err
+	}
+	s.j.Truncate()
+	return nil
+}
+
+// recoverKV rebuilds the store after a crash: the index rescans restored
+// memory, then journal entries past the checkpoint replay idempotently.
+// It returns the store and the number of journal entries replayed.
+func recoverKV(g *aurora.Group, arena uint64) (*kv, int, error) {
+	p := g.Procs()[0]
+	s := &kv{p: p, g: g, arena: arena, index: map[string]int64{}}
+	var t [8]byte
+	if err := p.ReadMem(arena, t[:]); err != nil {
+		return nil, 0, err
+	}
+	end := int64(binary.LittleEndian.Uint64(t[:]))
+	for off := int64(0); off < end; {
+		n, _ := decodeAt(p, arena+8+uint64(off))
+		k, _ := decodeKey(p, arena+8+uint64(off))
+		s.index[k] = off
+		off += n
+	}
+	s.tail = end
+	j, err := g.OpenJournal("wal")
+	if err != nil {
+		return nil, 0, err
+	}
+	s.j = j
+	entries, err := j.Entries()
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, e := range entries {
+		k, v := decodeRec(e.Payload)
+		// Idempotent replay: re-insert into memory without re-journaling.
+		rec := encode(k, v)
+		if err := p.WriteMem(arena+8+uint64(s.tail), rec); err != nil {
+			return nil, 0, err
+		}
+		s.index[k] = s.tail
+		s.tail += int64(len(rec))
+	}
+	return s, len(entries), nil
+}
+
+func encode(key, val string) []byte {
+	rec := make([]byte, 8+len(key)+len(val))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(val)))
+	copy(rec[8:], key)
+	copy(rec[8+len(key):], val)
+	return rec
+}
+
+func decodeRec(rec []byte) (string, string) {
+	kl := binary.LittleEndian.Uint32(rec[0:])
+	vl := binary.LittleEndian.Uint32(rec[4:])
+	return string(rec[8 : 8+kl]), string(rec[8+kl : 8+kl+vl])
+}
+
+func decodeAt(p *aurora.Proc, addr uint64) (int64, string) {
+	var hdr [8]byte
+	p.ReadMem(addr, hdr[:])
+	kl := binary.LittleEndian.Uint32(hdr[0:])
+	vl := binary.LittleEndian.Uint32(hdr[4:])
+	val := make([]byte, vl)
+	p.ReadMem(addr+8+uint64(kl), val)
+	return int64(8 + kl + vl), string(val)
+}
+
+func decodeKey(p *aurora.Proc, addr uint64) (string, int64) {
+	var hdr [8]byte
+	p.ReadMem(addr, hdr[:])
+	kl := binary.LittleEndian.Uint32(hdr[0:])
+	key := make([]byte, kl)
+	p.ReadMem(addr+8, key)
+	return string(key), int64(kl)
+}
+
+func main() {
+	m, err := aurora.NewMachine(aurora.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := open(m, "kv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	arena := s.arena
+
+	// Phase 1: writes covered by a checkpoint.
+	for i := 0; i < 100; i++ {
+		if err := s.put(fmt.Sprintf("user:%03d", i), fmt.Sprintf("account-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := s.checkpointAndTrim(); err != nil {
+		log.Fatal(err)
+	}
+	// Phase 2: writes covered only by the journal.
+	for i := 100; i < 120; i++ {
+		if err := s.put(fmt.Sprintf("user:%03d", i), fmt.Sprintf("account-%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("stored 120 keys (100 checkpointed, 20 journal-only)\n")
+
+	// Crash.
+	m2, err := m.Crash()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g2, _, err := m2.Restore("kv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, replayed, err := recoverKV(g2, arena)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d keys in restored memory + journal, %d journal entries replayed\n",
+		len(s2.index), replayed)
+	for _, probe := range []string{"user:050", "user:110"} {
+		v, ok := s2.get(probe)
+		fmt.Printf("  %s = %q (found=%v)\n", probe, v, ok)
+	}
+}

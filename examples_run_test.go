@@ -1,0 +1,38 @@
+package aurora_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// Every example must build, run, and print its headline line — the repo's
+// front door stays working.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs example binaries")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "the crash cost at most one checkpoint period"},
+		{"./examples/kvstore", "20 journal entries replayed"},
+		{"./examples/migration", "in-flight bytes intact"},
+		{"./examples/timetravel", "pre-bug state recovered"},
+		{"./examples/serverless", "warm starts skipped initialization"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Fatalf("%s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module aurora
+
+go 1.23

@@ -1,0 +1,122 @@
+package criu
+
+import (
+	"testing"
+	"time"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/kern"
+	"aurora/internal/mem"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/vm"
+)
+
+func newKernel(t *testing.T) (*kern.Kernel, *clock.Virtual, *clock.Costs) {
+	t.Helper()
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	dev := device.NewStripe(clk, costs, 4, 64<<10, 1<<30)
+	store, err := objstore.Format(dev, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := slsfs.Format(store, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kern.New(clk, costs, vm.NewSystem(mem.New(0), clk, costs), fs), clk, costs
+}
+
+func TestCheckpointBreakdown(t *testing.T) {
+	k, clk, costs := newKernel(t)
+	p := k.NewProc("victim")
+	va, _ := p.Mmap(32<<20, vm.ProtRead|vm.ProtWrite, false)
+	for i := 0; i < 1024; i++ { // 4 MiB resident
+		p.WriteMem(va+uint64(i)*vm.PageSize, []byte{byte(i)})
+	}
+	for i := 0; i < 8; i++ {
+		p.Open("/f", kern.ORead|kern.OWrite, true)
+	}
+
+	c := New(k, device.New(clk, costs, 1<<30))
+	st, err := c.Checkpoint([]*kern.Proc{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages != 1024 {
+		t.Fatalf("pages = %d, want 1024", st.Pages)
+	}
+	// Table 1's structure: total stop = OS + memory; memory dominates;
+	// IO write happens after resume.
+	if st.TotalStopTime < st.OSStateTime+st.MemoryTime {
+		t.Fatalf("stop %v < os %v + mem %v", st.TotalStopTime, st.OSStateTime, st.MemoryTime)
+	}
+	if st.OSStateTime < 40*time.Millisecond {
+		t.Fatalf("OS state time %v, want >= ~45ms (CRIU fixed cost)", st.OSStateTime)
+	}
+	if st.ImageBytes < 4<<20 {
+		t.Fatalf("image %d bytes, want >= resident set", st.ImageBytes)
+	}
+	if st.IOWriteTime <= 0 {
+		t.Fatal("no IO write time")
+	}
+}
+
+func TestStopTimeScalesWithMemoryNotJustDirty(t *testing.T) {
+	// CRIU copies ALL resident memory every time — no incremental
+	// tracking. Two identical checkpoints cost the same.
+	k, clk, costs := newKernel(t)
+	p := k.NewProc("victim")
+	va, _ := p.Mmap(32<<20, vm.ProtRead|vm.ProtWrite, false)
+	for i := 0; i < 2048; i++ {
+		p.WriteMem(va+uint64(i)*vm.PageSize, []byte{1})
+	}
+	c := New(k, device.New(clk, costs, 1<<30))
+	st1, err := c.Checkpoint([]*kern.Proc{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch one page only.
+	p.WriteMem(va, []byte{2})
+	st2, err := c.Checkpoint([]*kern.Proc{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Pages != st1.Pages {
+		t.Fatalf("second checkpoint copied %d pages, first %d — CRIU has no incremental mode", st2.Pages, st1.Pages)
+	}
+	ratio := float64(st2.MemoryTime) / float64(st1.MemoryTime)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("memory copy time changed by %.2fx between identical dumps", ratio)
+	}
+}
+
+func TestRestoreRebuildsProcesses(t *testing.T) {
+	k, clk, costs := newKernel(t)
+	p := k.NewProc("app")
+	p.Fork()
+	c := New(k, device.New(clk, costs, 1<<30))
+	procs := []*kern.Proc{p}
+	for _, ch := range p.Children() {
+		procs = append(procs, ch)
+	}
+	if _, err := c.Checkpoint(procs); err != nil {
+		t.Fatal(err)
+	}
+	k2, clk2, costs2 := newKernel(t)
+	_ = clk2
+	_ = costs2
+	c2 := New(k2, c.Dev)
+	restored, err := c2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 2 {
+		t.Fatalf("restored %d procs, want 2", len(restored))
+	}
+	if restored[0].Name != "app" || restored[0].LocalPID != p.LocalPID {
+		t.Fatalf("restored proc 0 = %s/%d", restored[0].Name, restored[0].LocalPID)
+	}
+}

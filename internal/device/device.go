@@ -1,0 +1,431 @@
+// Package device simulates the storage hardware of the paper's testbed:
+// Intel Optane 900P PCIe NVMe devices, four of which are striped at 64 KiB.
+//
+// A Device stores bytes for real (reads return what was written, across
+// simulated crashes) and charges transfer time to a virtual clock using the
+// calibrated latency + size/bandwidth model. Writes may be issued
+// synchronously (the caller's clock advances by the transfer time) or
+// asynchronously (the device pipelines the transfer and reports a virtual
+// completion time), which is how checkpoint flushing overlaps execution.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"aurora/internal/clock"
+)
+
+// ChunkSize is the granularity of the sparse backing store.
+const ChunkSize = 64 << 10
+
+// ErrOutOfRange is returned for IO beyond the device size.
+var ErrOutOfRange = errors.New("device: IO out of range")
+
+// Stats counts traffic through a device.
+type Stats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	Flushes      int64
+}
+
+// Device is one simulated NVMe namespace.
+type Device struct {
+	clk   clock.Clock
+	costs *clock.Costs
+
+	mu       sync.Mutex
+	size     int64
+	chunks   map[int64][]byte // chunk index -> ChunkSize bytes
+	nextFree time.Duration    // virtual time at which the queue drains
+	stats    Stats
+}
+
+// New returns a device of the given size charging IO to clk.
+func New(clk clock.Clock, costs *clock.Costs, size int64) *Device {
+	if size <= 0 {
+		panic("device: non-positive size")
+	}
+	return &Device{clk: clk, costs: costs, size: size, chunks: make(map[int64][]byte)}
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.size }
+
+// Stats returns a snapshot of the traffic counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *Device) check(n int, off int64) error {
+	if off < 0 || off+int64(n) > d.size {
+		return fmt.Errorf("%w: [%d,%d) size %d", ErrOutOfRange, off, off+int64(n), d.size)
+	}
+	return nil
+}
+
+// ReadAt reads into p from off, charging read transfer time.
+func (d *Device) ReadAt(p []byte, off int64) (int, error) {
+	if err := d.check(len(p), off); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.copyOut(p, off)
+	d.stats.Reads++
+	d.stats.BytesRead += int64(len(p))
+	d.mu.Unlock()
+	d.clk.Advance(clock.XferTime(d.costs.DevReadLatency, d.costs.DevReadBps, int64(len(p))))
+	return len(p), nil
+}
+
+// WriteAt writes p at off synchronously: the caller's virtual clock advances
+// by the full transfer time and the data is durable on return.
+func (d *Device) WriteAt(p []byte, off int64) (int, error) {
+	if err := d.check(len(p), off); err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	d.copyIn(p, off)
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(len(p))
+	d.mu.Unlock()
+	d.clk.Advance(clock.XferTime(d.costs.DevWriteLatency, d.costs.DevWriteBps, int64(len(p))))
+	return len(p), nil
+}
+
+// SubmitWrite queues p at off asynchronously. The data is immediately
+// visible to reads (the simulation has no volatile write cache to lose) but
+// the returned virtual time is when the transfer is durable; callers that
+// need durability must WaitUntil it.
+//
+// Queued writes pipeline the way NVMe queue depth allows: each transfer
+// occupies the device for its bandwidth time only, and the fixed command
+// latency is added once at the end, overlapping the next transfer. Sustained
+// submission therefore approaches device bandwidth instead of serializing on
+// per-command latency.
+func (d *Device) SubmitWrite(p []byte, off int64) (time.Duration, error) {
+	if err := d.check(len(p), off); err != nil {
+		return 0, err
+	}
+	occupancy := clock.XferTime(0, d.costs.DevWriteBps, int64(len(p)))
+	d.mu.Lock()
+	d.copyIn(p, off)
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(len(p))
+	start := d.nextFree
+	if now := d.clk.Now(); now > start {
+		start = now
+	}
+	d.nextFree = start + occupancy
+	done := d.nextFree + d.costs.DevWriteLatency
+	d.mu.Unlock()
+	return done, nil
+}
+
+// SubmitRead queues a read: data is returned immediately but the virtual
+// completion time reflects queued bandwidth, so batched readers (restore,
+// prefetch) pay pipelined bandwidth rather than per-command latency.
+func (d *Device) SubmitRead(p []byte, off int64) (time.Duration, error) {
+	if err := d.check(len(p), off); err != nil {
+		return 0, err
+	}
+	occupancy := clock.XferTime(0, d.costs.DevReadBps, int64(len(p)))
+	d.mu.Lock()
+	d.copyOut(p, off)
+	d.stats.Reads++
+	d.stats.BytesRead += int64(len(p))
+	start := d.nextFree
+	if now := d.clk.Now(); now > start {
+		start = now
+	}
+	d.nextFree = start + occupancy
+	done := d.nextFree + d.costs.DevReadLatency
+	d.mu.Unlock()
+	return done, nil
+}
+
+// WaitUntil advances the caller's clock to virtual time t if t is in the
+// future; it models blocking on an IO completion.
+func (d *Device) WaitUntil(t time.Duration) {
+	if now := d.clk.Now(); t > now {
+		d.clk.Advance(t - now)
+	}
+}
+
+// Flush waits for all queued writes to drain and become durable.
+func (d *Device) Flush() {
+	d.mu.Lock()
+	t := d.nextFree
+	if t > 0 {
+		t += d.costs.DevWriteLatency
+	}
+	d.stats.Flushes++
+	d.mu.Unlock()
+	d.WaitUntil(t)
+}
+
+// copyIn requires d.mu.
+func (d *Device) copyIn(p []byte, off int64) {
+	for len(p) > 0 {
+		ci := off / ChunkSize
+		co := off % ChunkSize
+		chunk, ok := d.chunks[ci]
+		if !ok {
+			chunk = make([]byte, ChunkSize)
+			d.chunks[ci] = chunk
+		}
+		n := copy(chunk[co:], p)
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// copyOut requires d.mu.
+func (d *Device) copyOut(p []byte, off int64) {
+	for len(p) > 0 {
+		ci := off / ChunkSize
+		co := off % ChunkSize
+		var n int
+		if chunk, ok := d.chunks[ci]; ok {
+			n = copy(p, chunk[co:])
+		} else {
+			end := ChunkSize - co
+			if end > int64(len(p)) {
+				end = int64(len(p))
+			}
+			for i := int64(0); i < end; i++ {
+				p[i] = 0
+			}
+			n = int(end)
+		}
+		p = p[n:]
+		off += int64(n)
+	}
+}
+
+// Stripe is a RAID-0 stripe set over several devices, matching the paper's
+// four Optanes striped at 64 KiB. IO is split at stripe-unit boundaries and
+// the member transfers proceed in parallel: a synchronous operation charges
+// the maximum member time, not the sum.
+type Stripe struct {
+	clk   clock.Clock
+	costs *clock.Costs
+	devs  []*Device
+	unit  int64
+}
+
+// NewStripe builds a stripe set of n fresh devices of perDevSize bytes each.
+func NewStripe(clk clock.Clock, costs *clock.Costs, n int, unit, perDevSize int64) *Stripe {
+	if n <= 0 || unit <= 0 {
+		panic("device: bad stripe geometry")
+	}
+	s := &Stripe{clk: clk, costs: costs, unit: unit}
+	for i := 0; i < n; i++ {
+		// Members get a discard clock; the stripe charges the caller
+		// with parallel (max) time itself.
+		s.devs = append(s.devs, New(clock.Discard{}, costs, perDevSize))
+	}
+	return s
+}
+
+// Size returns the aggregate capacity.
+func (s *Stripe) Size() int64 { return int64(len(s.devs)) * s.devs[0].Size() }
+
+// Devices returns the number of member devices.
+func (s *Stripe) Devices() int { return len(s.devs) }
+
+// Stats sums the member device counters.
+func (s *Stripe) Stats() Stats {
+	var out Stats
+	for _, d := range s.devs {
+		st := d.Stats()
+		out.Reads += st.Reads
+		out.Writes += st.Writes
+		out.BytesRead += st.BytesRead
+		out.BytesWritten += st.BytesWritten
+		out.Flushes += st.Flushes
+	}
+	return out
+}
+
+// extent is one member-local run of a striped IO.
+type extent struct {
+	dev  int
+	off  int64
+	p    []byte
+	size int64
+}
+
+func (s *Stripe) split(p []byte, off int64) []extent {
+	var out []extent
+	for len(p) > 0 {
+		blk := off / s.unit
+		in := off % s.unit
+		dev := int(blk % int64(len(s.devs)))
+		devBlk := blk / int64(len(s.devs))
+		run := s.unit - in
+		if run > int64(len(p)) {
+			run = int64(len(p))
+		}
+		out = append(out, extent{dev: dev, off: devBlk*s.unit + in, p: p[:run], size: run})
+		p = p[run:]
+		off += run
+	}
+	return out
+}
+
+func (s *Stripe) check(n int, off int64) error {
+	if off < 0 || off+int64(n) > s.Size() {
+		return fmt.Errorf("%w: [%d,%d) size %d", ErrOutOfRange, off, off+int64(n), s.Size())
+	}
+	return nil
+}
+
+// ReadAt reads across the stripe, charging the parallel (max-member) time.
+func (s *Stripe) ReadAt(p []byte, off int64) (int, error) {
+	if err := s.check(len(p), off); err != nil {
+		return 0, err
+	}
+	perDev := make([]int64, len(s.devs))
+	for _, e := range s.split(p, off) {
+		if _, err := s.devs[e.dev].ReadAt(e.p, e.off); err != nil {
+			return 0, err
+		}
+		perDev[e.dev] += e.size
+	}
+	s.clk.Advance(s.parallelTime(perDev, s.costs.DevReadLatency, s.costs.DevReadBps))
+	return len(p), nil
+}
+
+// WriteAt writes across the stripe synchronously, charging the parallel time.
+func (s *Stripe) WriteAt(p []byte, off int64) (int, error) {
+	if err := s.check(len(p), off); err != nil {
+		return 0, err
+	}
+	perDev := make([]int64, len(s.devs))
+	for _, e := range s.split(p, off) {
+		if _, err := s.devs[e.dev].WriteAt(e.p, e.off); err != nil {
+			return 0, err
+		}
+		perDev[e.dev] += e.size
+	}
+	s.clk.Advance(s.parallelTime(perDev, s.costs.DevWriteLatency, s.costs.DevWriteBps))
+	return len(p), nil
+}
+
+// SubmitWrite queues a striped write and returns its durable completion time.
+func (s *Stripe) SubmitWrite(p []byte, off int64) (time.Duration, error) {
+	if err := s.check(len(p), off); err != nil {
+		return 0, err
+	}
+	var done time.Duration
+	for _, e := range s.split(p, off) {
+		t, err := s.submitMember(e)
+		if err != nil {
+			return 0, err
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done, nil
+}
+
+func (s *Stripe) submitMember(e extent) (time.Duration, error) {
+	d := s.devs[e.dev]
+	occupancy := clock.XferTime(0, s.costs.DevWriteBps, e.size)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.check(len(e.p), e.off); err != nil {
+		return 0, err
+	}
+	d.copyIn(e.p, e.off)
+	d.stats.Writes++
+	d.stats.BytesWritten += e.size
+	start := d.nextFree
+	if now := s.clk.Now(); now > start {
+		start = now
+	}
+	d.nextFree = start + occupancy
+	return d.nextFree + s.costs.DevWriteLatency, nil
+}
+
+// SubmitRead queues a striped read, returning the completion time.
+func (s *Stripe) SubmitRead(p []byte, off int64) (time.Duration, error) {
+	if err := s.check(len(p), off); err != nil {
+		return 0, err
+	}
+	var done time.Duration
+	for _, e := range s.split(p, off) {
+		d := s.devs[e.dev]
+		occupancy := clock.XferTime(0, s.costs.DevReadBps, e.size)
+		d.mu.Lock()
+		if err := d.check(len(e.p), e.off); err != nil {
+			d.mu.Unlock()
+			return 0, err
+		}
+		d.copyOut(e.p, e.off)
+		d.stats.Reads++
+		d.stats.BytesRead += e.size
+		start := d.nextFree
+		if now := s.clk.Now(); now > start {
+			start = now
+		}
+		d.nextFree = start + occupancy
+		t := d.nextFree + s.costs.DevReadLatency
+		d.mu.Unlock()
+		if t > done {
+			done = t
+		}
+	}
+	return done, nil
+}
+
+// WaitUntil advances the stripe's clock to t if t is in the future.
+func (s *Stripe) WaitUntil(t time.Duration) {
+	if now := s.clk.Now(); t > now {
+		s.clk.Advance(t - now)
+	}
+}
+
+// Flush drains all member queues.
+func (s *Stripe) Flush() {
+	var max time.Duration
+	for _, d := range s.devs {
+		d.mu.Lock()
+		if d.nextFree > max {
+			max = d.nextFree
+		}
+		d.stats.Flushes++
+		d.mu.Unlock()
+	}
+	if max > 0 {
+		max += s.costs.DevWriteLatency
+	}
+	s.WaitUntil(max)
+}
+
+// parallelTime models n concurrent member transfers: one shared latency plus
+// the longest member's bandwidth time.
+func (s *Stripe) parallelTime(perDev []int64, lat time.Duration, bps int64) time.Duration {
+	var worst int64
+	any := false
+	for _, n := range perDev {
+		if n > 0 {
+			any = true
+		}
+		if n > worst {
+			worst = n
+		}
+	}
+	if !any {
+		return 0
+	}
+	return clock.XferTime(lat, bps, worst)
+}

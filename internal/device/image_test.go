@@ -1,0 +1,78 @@
+package device
+
+import (
+	"bytes"
+	"testing"
+
+	"aurora/internal/clock"
+)
+
+func TestDeviceImageRoundTrip(t *testing.T) {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	d := New(clk, costs, 4<<20)
+	d.WriteAt([]byte("alpha"), 0)
+	d.WriteAt([]byte("omega"), 3<<20) // sparse: far chunk
+
+	var img bytes.Buffer
+	if err := d.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(clk, costs, &img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != d.Size() {
+		t.Fatalf("size %d != %d", d2.Size(), d.Size())
+	}
+	buf := make([]byte, 5)
+	d2.ReadAt(buf, 0)
+	if string(buf) != "alpha" {
+		t.Fatalf("got %q", buf)
+	}
+	d2.ReadAt(buf, 3<<20)
+	if string(buf) != "omega" {
+		t.Fatalf("got %q", buf)
+	}
+	// Unwritten regions still zero.
+	d2.ReadAt(buf, 1<<20)
+	if buf[0] != 0 {
+		t.Fatal("phantom data")
+	}
+}
+
+func TestStripeImageRoundTrip(t *testing.T) {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	s := NewStripe(clk, costs, 4, 64<<10, 1<<20)
+	payload := bytes.Repeat([]byte{0xCD}, 300<<10)
+	s.WriteAt(payload, 12345)
+
+	var img bytes.Buffer
+	if err := s.Save(&img); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LoadStripe(clk, costs, &img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Devices() != 4 || s2.Size() != s.Size() {
+		t.Fatalf("geometry: %d devices, %d bytes", s2.Devices(), s2.Size())
+	}
+	got := make([]byte, len(payload))
+	s2.ReadAt(got, 12345)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("stripe image corrupted data")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	if _, err := Load(clk, costs, bytes.NewReader([]byte("not an image file...."))); err == nil {
+		t.Fatal("garbage device image accepted")
+	}
+	if _, err := LoadStripe(clk, costs, bytes.NewReader([]byte("not a stripe image..."))); err == nil {
+		t.Fatal("garbage stripe image accepted")
+	}
+}

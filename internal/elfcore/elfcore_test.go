@@ -1,0 +1,86 @@
+package elfcore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/kern"
+	"aurora/internal/mem"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/vm"
+)
+
+func newProc(t *testing.T) *kern.Proc {
+	t.Helper()
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	dev := device.NewStripe(clk, costs, 4, 64<<10, 512<<20)
+	store, err := objstore.Format(dev, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := slsfs.Format(store, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kern.New(clk, costs, vm.NewSystem(mem.New(0), clk, costs), fs)
+	return k.NewProc("dumped")
+}
+
+func TestCoreDumpStructure(t *testing.T) {
+	p := newProc(t)
+	va, _ := p.Mmap(64<<10, vm.ProtRead|vm.ProtWrite, false)
+	p.WriteMem(va+123, []byte("needle-in-core"))
+	p.MainThread().CPU.RIP = 0x401000
+
+	var buf bytes.Buffer
+	n, err := Write(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	img := buf.Bytes()
+	if err := Validate(img); err != nil {
+		t.Fatal(err)
+	}
+	// Memory content present in the image.
+	if !bytes.Contains(img, []byte("needle-in-core")) {
+		t.Fatal("mapped memory missing from core")
+	}
+	// RIP present in a PRSTATUS note.
+	var rip [8]byte
+	binary.LittleEndian.PutUint64(rip[:], 0x401000)
+	if !bytes.Contains(img, rip[:]) {
+		t.Fatal("thread RIP missing from notes")
+	}
+	// Process name in PRPSINFO.
+	if !bytes.Contains(img, []byte("dumped")) {
+		t.Fatal("process name missing from notes")
+	}
+}
+
+func TestCoreDumpNoMappings(t *testing.T) {
+	p := newProc(t)
+	var buf bytes.Buffer
+	if _, err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	if err := Validate([]byte("ELF? no")); err == nil {
+		t.Fatal("garbage validated")
+	}
+	if err := Validate(nil); err == nil {
+		t.Fatal("nil validated")
+	}
+}

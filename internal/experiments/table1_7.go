@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/apps/redis"
+	"aurora/internal/criu"
+	"aurora/internal/device"
+	"aurora/internal/kern"
+	"aurora/internal/sls"
+)
+
+// Table1Result is the CRIU checkpoint breakdown for a Redis instance
+// (paper Table 1: OS 49 ms, memory 413 ms, stop 462 ms, IO 350 ms for
+// 500 MB).
+type Table1Result struct {
+	WorkingSet int64
+	CRIU       criu.Stats
+}
+
+// Render prints the table.
+func (r Table1Result) Render() string {
+	return "Table 1: CRIU checkpoint breakdown, " + fmtBytes(r.WorkingSet) + " Redis\n" +
+		table(
+			[]string{"Type", "CRIU"},
+			[][]string{
+				{"OS State Copy", fmtDur(r.CRIU.OSStateTime)},
+				{"Memory Copy", fmtDur(r.CRIU.MemoryTime)},
+				{"Total Stop Time", fmtDur(r.CRIU.TotalStopTime)},
+				{"IO Write", fmtDur(r.CRIU.IOWriteTime)},
+			},
+		)
+}
+
+// buildRedis creates a Redis instance with roughly wsBytes of resident data.
+func buildRedis(w *World, wsBytes int64) (*redis.Redis, error) {
+	r, err := redis.New(w.K, wsBytes+wsBytes/4)
+	if err != nil {
+		return nil, err
+	}
+	const valSize = 4096 - 64
+	val := make([]byte, valSize)
+	n := wsBytes / valSize
+	for i := int64(0); i < n; i++ {
+		if err := r.Set(fmt.Sprintf("key:%012d", i), val); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Table1 runs the CRIU breakdown. The Quick working set stays large enough
+// that memory copy dominates CRIU's fixed OS-state cost, preserving the
+// table's structure.
+func Table1(scale Scale) (Table1Result, error) {
+	ws := int64(500 << 20)
+	if scale == Quick {
+		ws = 96 << 20
+	}
+	w, err := NewWorld(8 << 30)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	r, err := buildRedis(w, ws)
+	if err != nil {
+		return Table1Result{}, err
+	}
+	img := device.New(w.Clk, w.Costs, 4<<30)
+	ck := criu.New(w.K, img)
+	st, err := ck.Checkpoint([]*kern.Proc{r.Proc})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	return Table1Result{WorkingSet: ws, CRIU: st}, nil
+}
+
+// Table7Result compares Aurora, CRIU, and Redis's RDB (paper Table 7).
+type Table7Result struct {
+	WorkingSet int64
+
+	AuroraOS    time.Duration
+	AuroraMem   time.Duration
+	AuroraStop  time.Duration
+	AuroraWrite time.Duration
+
+	CRIU criu.Stats
+
+	RDBStop  time.Duration
+	RDBWrite time.Duration
+}
+
+// Render prints the table.
+func (r Table7Result) Render() string {
+	na := "N/A"
+	return "Table 7: full-checkpoint comparison, " + fmtBytes(r.WorkingSet) + " Redis\n" +
+		table(
+			[]string{"Type", "Aurora", "CRIU", "RDB"},
+			[][]string{
+				{"OS State", fmtDur(r.AuroraOS), fmtDur(r.CRIU.OSStateTime), na},
+				{"Memory", fmtDur(r.AuroraMem), fmtDur(r.CRIU.MemoryTime), na},
+				{"Total Stop Time", fmtDur(r.AuroraStop), fmtDur(r.CRIU.TotalStopTime), fmtDur(r.RDBStop)},
+				{"IO Write", fmtDur(r.AuroraWrite), fmtDur(r.CRIU.IOWriteTime), fmtDur(r.RDBWrite)},
+			},
+		)
+}
+
+// Table7 runs all three checkpointers over identical Redis instances.
+func Table7(scale Scale) (Table7Result, error) {
+	ws := int64(500 << 20)
+	if scale == Quick {
+		ws = 96 << 20
+	}
+	out := Table7Result{WorkingSet: ws}
+
+	// Aurora full checkpoint.
+	{
+		w, err := NewWorld(8 << 30)
+		if err != nil {
+			return out, err
+		}
+		r, err := buildRedis(w, ws)
+		if err != nil {
+			return out, err
+		}
+		g := w.O.CreateGroup("redis")
+		if err := g.Attach(r.Proc); err != nil {
+			return out, err
+		}
+		st, err := g.Checkpoint(sls.CkptFull)
+		if err != nil {
+			return out, err
+		}
+		out.AuroraOS = st.OSTime
+		out.AuroraMem = st.MemTime
+		out.AuroraStop = st.StopTime
+		before := w.Clk.Now()
+		if err := w.Store.WaitDurable(st.Epoch); err != nil {
+			return out, err
+		}
+		out.AuroraWrite = st.DurableAt - before + (w.Clk.Now() - st.DurableAt)
+		if out.AuroraWrite < 0 {
+			out.AuroraWrite = 0
+		}
+		// DurableAt measures from submission; report flush duration.
+		out.AuroraWrite = st.DurableAt - before
+		if out.AuroraWrite < 0 {
+			out.AuroraWrite = 0
+		}
+	}
+
+	// CRIU.
+	{
+		w, err := NewWorld(8 << 30)
+		if err != nil {
+			return out, err
+		}
+		r, err := buildRedis(w, ws)
+		if err != nil {
+			return out, err
+		}
+		img := device.New(w.Clk, w.Costs, 4<<30)
+		st, err := criu.New(w.K, img).Checkpoint([]*kern.Proc{r.Proc})
+		if err != nil {
+			return out, err
+		}
+		out.CRIU = st
+	}
+
+	// Redis RDB (fork-based BGSAVE).
+	{
+		w, err := NewWorld(8 << 30)
+		if err != nil {
+			return out, err
+		}
+		r, err := buildRedis(w, ws)
+		if err != nil {
+			return out, err
+		}
+		img := device.New(w.Clk, w.Costs, 4<<30)
+		st, err := r.BGSave(img)
+		if err != nil {
+			return out, err
+		}
+		out.RDBStop = st.StopTime
+		out.RDBWrite = st.SaveTime
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package fsbase
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/vfs"
+)
+
+func newBase(t *testing.T, p Profile) (*FS, *clock.Virtual) {
+	t.Helper()
+	clk := clock.NewVirtual()
+	dev := device.NewStripe(clk, clock.DefaultCosts(), 4, 64<<10, 512<<20)
+	return New(clk, dev, p), clk
+}
+
+func TestRoundTripBothProfiles(t *testing.T) {
+	for _, p := range []Profile{FFS(), ZFS(false), ZFS(true)} {
+		t.Run(p.FSName, func(t *testing.T) {
+			fs, _ := newBase(t, p)
+			f, err := fs.Create("/data")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bytes.Repeat([]byte{0xAD}, 100<<10) // spans extents
+			if _, err := f.WriteAt(want, 333); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, len(want))
+			if _, err := f.ReadAt(got, 333); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatal("data corrupted")
+			}
+			if err := f.Fsync(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestNamespaceOps(t *testing.T) {
+	fs, _ := newBase(t, FFS())
+	if _, err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/a"); !errors.Is(err, vfs.ErrExist) {
+		t.Fatalf("dup create: %v", err)
+	}
+	if err := fs.Rename("/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/a") || !fs.Exists("/b") {
+		t.Fatal("rename namespace wrong")
+	}
+	if err := fs.Remove("/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/b"); !errors.Is(err, vfs.ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if got := fs.List("/"); len(got) != 0 {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestRemoveReclaimsExtents(t *testing.T) {
+	fs, _ := newBase(t, FFS())
+	f, _ := fs.Create("/big")
+	f.WriteAt(make([]byte, 256<<10), 0)
+	f.Close()
+	before := len(fs.freeExts) // metadata-amp scratch extents may be here
+	fs.Remove("/big")
+	if got := len(fs.freeExts) - before; got < 4 {
+		t.Fatalf("extents reclaimed by remove = %d, want >= 4", got)
+	}
+}
+
+func TestUnlinkedOpenFileUsableUntilClose(t *testing.T) {
+	fs, _ := newBase(t, ZFS(false))
+	f, _ := fs.Create("/tmp")
+	f.WriteAt([]byte("alive"), 0)
+	fs.Remove("/tmp")
+	got := make([]byte, 5)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "alive" {
+		t.Fatalf("got %q", got)
+	}
+	f.Close() // reclaims now
+}
+
+func TestFsyncCostOrdering(t *testing.T) {
+	// FFS fsync must be cheaper than ZFS fsync; both must dwarf a no-op.
+	elapsed := func(p Profile) time.Duration {
+		fs, clk := newBase(t, p)
+		f, _ := fs.Create("/x")
+		f.WriteAt(make([]byte, 4096), 0)
+		fs.Sync()
+		before := clk.Now()
+		f.Fsync()
+		return clk.Now() - before
+	}
+	ffs, zfs := elapsed(FFS()), elapsed(ZFS(false))
+	if ffs >= zfs {
+		t.Fatalf("fsync: ffs %v >= zfs %v", ffs, zfs)
+	}
+	if ffs < 10*time.Microsecond {
+		t.Fatalf("ffs fsync %v suspiciously free", ffs)
+	}
+}
+
+func TestChecksumChargesCPU(t *testing.T) {
+	run := func(p Profile) time.Duration {
+		fs, clk := newBase(t, p)
+		f, _ := fs.Create("/x")
+		before := clk.Now()
+		f.WriteAt(make([]byte, 1<<20), 0)
+		return clk.Now() - before
+	}
+	if plain, csum := run(ZFS(false)), run(ZFS(true)); csum <= plain {
+		t.Fatalf("checksums free: plain %v, csum %v", plain, csum)
+	}
+}
+
+func TestWriteBackpressureBoundsQueue(t *testing.T) {
+	fs, clk := newBase(t, FFS())
+	f, _ := fs.Create("/stream")
+	buf := make([]byte, 1<<20)
+	for i := 0; i < 200; i++ {
+		if _, err := f.WriteAt(buf, int64(i)<<20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 200 MiB at the modeled aggregate bandwidth cannot finish in under
+	// ~20 ms of virtual time; without backpressure the clock would barely
+	// move until Sync.
+	if clk.Now() < 10*time.Millisecond {
+		t.Fatalf("clock advanced only %v during 200 MiB of writes", clk.Now())
+	}
+}

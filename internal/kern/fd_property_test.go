@@ -1,0 +1,101 @@
+package kern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: descriptor-table reference counting never loses or leaks a
+// description under random install/dup/clone/close sequences. The model is
+// a multiset of (slot -> description) references; the implementation's
+// refcounts must match the model's reference totals exactly.
+func TestFDTableRefcountProperty(t *testing.T) {
+	type op struct {
+		Kind uint8 // 0 install, 1 dup, 2 close, 3 clone+closeall
+		Slot uint8
+	}
+	f := func(ops []op) bool {
+		tbl := NewFDTable()
+		refs := make(map[*File]int) // model: live references per description
+		mk := func() *File {
+			f := NewFile(&nullImpl{}, ORead)
+			refs[f] = 1
+			return f
+		}
+		check := func() bool {
+			for f, want := range refs {
+				if want == 0 {
+					continue
+				}
+				if int(f.Refs()) != want {
+					return false
+				}
+			}
+			return true
+		}
+		for _, o := range ops {
+			switch o.Kind % 4 {
+			case 0:
+				tbl.Install(mk())
+			case 1:
+				if fd, err := tbl.Dup(int(o.Slot % 16)); err == nil {
+					f, _ := tbl.Get(fd)
+					refs[f]++
+				}
+			case 2:
+				if f, err := tbl.Get(int(o.Slot % 16)); err == nil {
+					tbl.Close(int(o.Slot % 16))
+					refs[f]--
+				}
+			case 3:
+				// Fork + child exit: the clone takes one reference per
+				// open slot and CloseAll releases them — net zero for
+				// the model, and the table's counts must agree.
+				clone := tbl.Clone()
+				clone.Each(func(fd int, f *File) { refs[f]++ })
+				if !check() {
+					return false
+				}
+				clone.CloseAll()
+				tblRefs := map[*File]int{}
+				tbl.Each(func(fd int, f *File) { tblRefs[f]++ })
+				for f := range refs {
+					refs[f] = tblRefs[f]
+				}
+			}
+			if !check() {
+				return false
+			}
+		}
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nullImpl is a trivial FileImpl for table tests.
+type nullImpl struct{ closed bool }
+
+func (n *nullImpl) Kind() ObjKind                       { return KindDevice }
+func (n *nullImpl) Read(f *File, p []byte) (int, error) { return 0, nil }
+func (n *nullImpl) Write(f *File, p []byte) (int, error) {
+	return len(p), nil
+}
+func (n *nullImpl) CloseLast() { n.closed = true }
+
+func TestCloseLastFiresExactlyOnce(t *testing.T) {
+	tbl := NewFDTable()
+	impl := &nullImpl{}
+	f := NewFile(impl, ORead)
+	fd := tbl.Install(f)
+	dup, _ := tbl.Dup(fd)
+	tbl.Close(fd)
+	if impl.closed {
+		t.Fatal("CloseLast fired with a dup outstanding")
+	}
+	tbl.Close(dup)
+	if !impl.closed {
+		t.Fatal("CloseLast never fired")
+	}
+}

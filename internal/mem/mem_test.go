@@ -1,0 +1,193 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocZeroed(t *testing.T) {
+	pm := New(1 << 20)
+	p, err := pm.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Data) != PageSize {
+		t.Fatalf("frame size = %d, want %d", len(p.Data), PageSize)
+	}
+	for i, b := range p.Data {
+		if b != 0 {
+			t.Fatalf("byte %d = %d, want 0", i, b)
+		}
+	}
+	if p.Dirty || p.Referenced || p.Wired != 0 {
+		t.Fatalf("fresh frame has stale flags: %+v", p)
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	pm := New(4 * PageSize)
+	var pages []*Page
+	for i := 0; i < 4; i++ {
+		p, err := pm.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		pages = append(pages, p)
+	}
+	if _, err := pm.Alloc(); err != ErrNoMemory {
+		t.Fatalf("alloc past capacity: err = %v, want ErrNoMemory", err)
+	}
+	pm.Free(pages[0])
+	if _, err := pm.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestRecycledFrameIsClean(t *testing.T) {
+	pm := New(PageSize)
+	p := pm.MustAlloc()
+	p.Data[123] = 0xAB
+	p.Dirty = true
+	p.Referenced = true
+	pm.Enqueue(p, QueueActive)
+	pm.Free(p)
+	q := pm.MustAlloc()
+	if q.Data[123] != 0 || q.Dirty || q.Referenced || q.Queue() != QueueNone {
+		t.Fatalf("recycled frame not reset: %+v", q)
+	}
+}
+
+func TestQueueTransitions(t *testing.T) {
+	pm := New(0)
+	p := pm.MustAlloc()
+	pm.Enqueue(p, QueueActive)
+	if got := pm.Stats(); got.ActivePages != 1 {
+		t.Fatalf("active = %d, want 1", got.ActivePages)
+	}
+	pm.Enqueue(p, QueueLaundry)
+	st := pm.Stats()
+	if st.ActivePages != 0 || st.LaundryPages != 1 {
+		t.Fatalf("after move: %+v", st)
+	}
+	pm.Enqueue(p, QueueNone)
+	if got := pm.Stats(); got.LaundryPages != 0 {
+		t.Fatalf("laundry = %d, want 0", got.LaundryPages)
+	}
+}
+
+func TestWireRemovesFromQueue(t *testing.T) {
+	pm := New(0)
+	p := pm.MustAlloc()
+	pm.Enqueue(p, QueueInactive)
+	pm.Wire(p)
+	st := pm.Stats()
+	if st.InactivePages != 0 || st.WiredPages != 1 {
+		t.Fatalf("after wire: %+v", st)
+	}
+	pm.Wire(p)
+	pm.Unwire(p)
+	if got := pm.Stats().WiredPages; got != 1 {
+		t.Fatalf("wired = %d after one unwire of double wire, want 1", got)
+	}
+	pm.Unwire(p)
+	if got := pm.Stats().WiredPages; got != 0 {
+		t.Fatalf("wired = %d, want 0", got)
+	}
+}
+
+func TestUnwireUnwiredPanics(t *testing.T) {
+	pm := New(0)
+	p := pm.MustAlloc()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unwire of unwired page did not panic")
+		}
+	}()
+	pm.Unwire(p)
+}
+
+func TestScanQueuePrefersClean(t *testing.T) {
+	pm := New(0)
+	var dirty, clean *Page
+	dirty = pm.MustAlloc()
+	dirty.Dirty = true
+	clean = pm.MustAlloc()
+	pm.Enqueue(dirty, QueueInactive)
+	pm.Enqueue(clean, QueueInactive)
+	got := pm.ScanQueue(QueueInactive, 1, true)
+	if len(got) != 1 || got[0] != clean {
+		t.Fatalf("ScanQueue preferClean picked dirty page")
+	}
+	// Under pressure (asking for more than clean supply) dirty pages appear.
+	got = pm.ScanQueue(QueueInactive, 2, true)
+	if len(got) != 2 {
+		t.Fatalf("ScanQueue returned %d pages, want 2", len(got))
+	}
+}
+
+func TestPageCopyMarksDirty(t *testing.T) {
+	pm := New(0)
+	src, dst := pm.MustAlloc(), pm.MustAlloc()
+	src.Data[0] = 42
+	dst.Backed = true
+	dst.Copy(src)
+	if dst.Data[0] != 42 || !dst.Dirty || dst.Backed {
+		t.Fatalf("Copy: data=%d dirty=%v backed=%v", dst.Data[0], dst.Dirty, dst.Backed)
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	tests := []struct{ n, want int64 }{
+		{0, 0}, {-5, 0}, {1, 1}, {PageSize, 1}, {PageSize + 1, 2}, {10 * PageSize, 10},
+	}
+	for _, tt := range tests {
+		if got := PagesFor(tt.n); got != tt.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPressure(t *testing.T) {
+	pm := New(10 * PageSize)
+	if got := pm.Pressure(); got != 0 {
+		t.Fatalf("empty pressure = %v", got)
+	}
+	for i := 0; i < 5; i++ {
+		pm.MustAlloc()
+	}
+	if got := pm.Pressure(); got != 0.5 {
+		t.Fatalf("pressure = %v, want 0.5", got)
+	}
+	if got := New(0).Pressure(); got != 0 {
+		t.Fatalf("unlimited pressure = %v, want 0", got)
+	}
+}
+
+// Property: used count always equals allocs minus frees.
+func TestUsedAccountingProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		pm := New(0)
+		var live []*Page
+		var want int64
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				live = append(live, pm.MustAlloc())
+				want++
+			} else {
+				pm.Free(live[len(live)-1])
+				live = live[:len(live)-1]
+				want--
+			}
+		}
+		return pm.Used() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueString(t *testing.T) {
+	if QueueLaundry.String() != "laundry" || Queue(99).String() == "" {
+		t.Fatal("Queue.String misbehaves")
+	}
+}

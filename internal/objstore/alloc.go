@@ -1,0 +1,187 @@
+package objstore
+
+// Block allocation. The store uses a bump pointer plus a freelist refilled
+// by the deadlist scan. COW means a block is never rewritten once it holds
+// committed data; blocks become reusable only when no retained checkpoint
+// can still see them.
+
+// allocBlock returns one free block address born in the current interval.
+// Requires mu.
+func (s *Store) allocBlock() (int64, error) {
+	if n := len(s.freelist); n > 0 {
+		a := s.freelist[n-1]
+		s.freelist = s.freelist[:n-1]
+		s.stats.BlocksAllocated++
+		s.birthOf[a] = s.curEpoch()
+		return a, nil
+	}
+	a := s.nextBlk * BlockSize
+	if a+BlockSize > s.dev.Size() {
+		return 0, ErrFull
+	}
+	s.nextBlk++
+	s.stats.BlocksAllocated++
+	s.birthOf[a] = s.curEpoch()
+	return a, nil
+}
+
+// allocRun returns n contiguous blocks (needed for multi-block records and
+// journal extents). Contiguity comes from the bump region, but single-block
+// runs recycle through the freelist like any block — otherwise a
+// long-running store's per-checkpoint metadata (records, indexes) would
+// only ever bump while their freed predecessors pile up in the freelist,
+// which is itself serialized into every index: the store would grow
+// quadratically while idle. Requires mu.
+func (s *Store) allocRun(n int64) (int64, error) {
+	if n == 1 {
+		return s.allocBlock()
+	}
+	a := s.nextBlk * BlockSize
+	if a+n*BlockSize > s.dev.Size() {
+		return 0, ErrFull
+	}
+	s.nextBlk += n
+	s.stats.BlocksAllocated += n
+	for i := int64(0); i < n; i++ {
+		s.birthOf[a+i*BlockSize] = s.curEpoch()
+	}
+	return a, nil
+}
+
+// allocMetaRun returns n contiguous blocks for checkpoint indexes,
+// preferring the recycled metadata pool over the bump region. Requires mu.
+func (s *Store) allocMetaRun(n int64) (int64, error) {
+	for i, r := range s.metaFree {
+		if r.n >= n {
+			addr := r.addr
+			if r.n == n {
+				s.metaFree = append(s.metaFree[:i], s.metaFree[i+1:]...)
+			} else {
+				s.metaFree[i] = blockRun{addr: r.addr + n*BlockSize, n: r.n - n}
+			}
+			s.stats.BlocksAllocated += n
+			for j := int64(0); j < n; j++ {
+				s.birthOf[addr+j*BlockSize] = s.curEpoch()
+			}
+			return addr, nil
+		}
+	}
+	return s.allocRun(n)
+}
+
+// retireBlock marks a block superseded during the current interval. Blocks
+// born and retired within the same interval are immediately reusable — this
+// is the property that keeps the store free of a garbage-collection pass.
+// Blocks born in earlier (committed) epochs join the deadlist and are
+// reclaimed once no retained checkpoint can see them. Requires mu.
+func (s *Store) retireBlock(addr int64) {
+	if addr == 0 {
+		return
+	}
+	birth, ok := s.birthOf[addr]
+	if ok {
+		delete(s.birthOf, addr)
+	}
+	cur := s.curEpoch()
+	if birth == cur {
+		// Never visible to any checkpoint: reuse at once.
+		s.freelist = append(s.freelist, addr)
+		s.stats.BlocksFreed++
+		return
+	}
+	s.deadlist = append(s.deadlist, deadBlock{addr: addr, birth: birth, freedAt: cur})
+}
+
+// retireRun retires n consecutive blocks starting at addr. Requires mu.
+func (s *Store) retireRun(addr, n int64) {
+	for i := int64(0); i < n; i++ {
+		s.retireBlock(addr + i*BlockSize)
+	}
+}
+
+// sweepDeadlist moves deadlist entries no retained checkpoint can see onto
+// the freelist. Requires mu.
+func (s *Store) sweepDeadlist() int {
+	if len(s.deadlist) == 0 {
+		return 0
+	}
+	// A block with lifetime [birth, freedAt) is still needed iff some
+	// retained checkpoint epoch R satisfies birth <= R < freedAt. The live
+	// table never references deadlist blocks, so the current epoch is not
+	// a holder.
+	retained := make([]Epoch, 0, len(s.retained))
+	for _, c := range s.retained {
+		retained = append(retained, c.epoch)
+	}
+	freed := 0
+	kept := s.deadlist[:0]
+	for _, db := range s.deadlist {
+		held := false
+		for _, r := range retained {
+			if r >= db.birth && r < db.freedAt {
+				held = true
+				break
+			}
+		}
+		if held {
+			kept = append(kept, db)
+		} else {
+			s.freelist = append(s.freelist, db.addr)
+			s.stats.BlocksFreed++
+			freed++
+		}
+	}
+	s.deadlist = kept
+	return freed
+}
+
+// ReleaseCheckpointsBefore drops history older than epoch and reclaims any
+// blocks only that history held — including the released checkpoints' own
+// index blocks, whose lifetime is implied by the retained list rather than
+// recorded in the deadlist. It returns the number of blocks freed. The
+// most recent checkpoint can never be released.
+func (s *Store) ReleaseCheckpointsBefore(epoch Epoch) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	freed := 0
+	kept := s.retained[:0]
+	for _, c := range s.retained {
+		if c.epoch >= epoch || c.epoch == s.epoch {
+			kept = append(kept, c)
+			continue
+		}
+		// Index runs recycle through the in-memory metadata pool, never
+		// the serialized freelist (see metaFree).
+		s.metaFree = append(s.metaFree, blockRun{addr: c.indexAddr, n: blocksFor(c.indexLen)})
+		s.stats.BlocksFreed += blocksFor(c.indexLen)
+		freed += int(blocksFor(c.indexLen))
+		delete(s.durableAt, c.epoch)
+	}
+	s.retained = kept
+	return freed + s.sweepDeadlist()
+}
+
+// RetainedCheckpoints lists the epochs whose full state remains restorable.
+func (s *Store) RetainedCheckpoints() []Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Epoch, len(s.retained))
+	for i, c := range s.retained {
+		out[i] = c.epoch
+	}
+	return out
+}
+
+// FreeBlocks reports the current freelist length (for tests and tooling).
+func (s *Store) FreeBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.freelist)
+}
+
+// DeadBlocks reports the deadlist length (for tests and tooling).
+func (s *Store) DeadBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.deadlist)
+}

@@ -1,0 +1,450 @@
+package objstore
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/clock"
+)
+
+// Checkpointing: the commit path, crash recovery, and read-only views of
+// retained history.
+
+// CheckpointStats describes one committed checkpoint.
+type CheckpointStats struct {
+	Epoch         Epoch
+	DirtyObjects  int
+	MetaBytes     int64
+	DurableAt     time.Duration // virtual time the commit is durable
+	CommitCharged time.Duration // virtual time charged synchronously
+}
+
+// Checkpoint commits all modifications since the previous checkpoint as a
+// new epoch. Data blocks were already submitted asynchronously by the write
+// paths; Checkpoint writes block-map chunks, object records for dirty
+// objects, the index, and finally the superblock. The superblock is ordered
+// after everything else is durable, so a crash at any point leaves the
+// previous checkpoint intact.
+//
+// The call itself is cheap in virtual time (metadata submission); the
+// returned stats carry the virtual durability time, which callers such as
+// the orchestrator wait on before externalizing effects.
+func (s *Store) Checkpoint() (CheckpointStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw := clock.StartStopwatch(s.clk)
+	cur := s.curEpoch()
+	st := CheckpointStats{Epoch: cur}
+
+	// 1. Flush dirty chunks and records of dirty objects.
+	for _, o := range s.objects {
+		if !o.dirty {
+			continue
+		}
+		st.DirtyObjects++
+		for _, c := range o.chunks {
+			if !c.dirty {
+				continue
+			}
+			addr, err := s.allocBlock()
+			if err != nil {
+				return st, err
+			}
+			done, err := s.dev.SubmitWrite(encodeChunk(c), addr)
+			if err != nil {
+				return st, err
+			}
+			if done > s.pendingDurable {
+				s.pendingDurable = done
+			}
+			s.retireBlock(c.addr)
+			c.addr = addr
+			c.dirty = false
+			st.MetaBytes += BlockSize
+		}
+		rec := encodeRecord(o)
+		if o.recordAddr != 0 {
+			s.retireRun(o.recordAddr, blocksFor(o.recordLen))
+		}
+		addr, err := s.allocRun(blocksFor(int64(len(rec))))
+		if err != nil {
+			return st, err
+		}
+		done, err := s.dev.SubmitWrite(rec, addr)
+		if err != nil {
+			return st, err
+		}
+		if done > s.pendingDurable {
+			s.pendingDurable = done
+		}
+		o.recordAddr = addr
+		o.recordLen = int64(len(rec))
+		o.dirty = false
+		st.MetaBytes += int64(len(rec))
+	}
+	s.deleted = make(map[OID]bool)
+
+	// 2. Build and write the index. nextBlk must cover the index's own
+	// blocks, so reserve them first with a size-stable encoding, then
+	// patch the field.
+	idx := &indexState{
+		epoch:    cur,
+		nextOID:  s.nextOID,
+		nextBlk:  0, // patched below
+		freelist: s.freelist,
+		deadlist: s.deadlist,
+		retained: s.retained,
+	}
+	for oid, o := range s.objects {
+		idx.objects = append(idx.objects, indexEntry{oid: oid, addr: o.recordAddr, len: o.recordLen})
+	}
+	e := encodeIndex(idx)
+	idxLen := int64(len(e.b)) + 4 // + CRC
+	idxAddr, err := s.allocMetaRun(blocksFor(idxLen))
+	if err != nil {
+		return st, err
+	}
+	patchI64(e.b, nextBlkOffset, s.nextBlk)
+	idxBytes := e.seal()
+	done, err := s.dev.SubmitWrite(idxBytes, idxAddr)
+	if err != nil {
+		return st, err
+	}
+	if done > s.pendingDurable {
+		s.pendingDurable = done
+	}
+	st.MetaBytes += idxLen
+
+	if s.FailBeforeCommit {
+		s.FailBeforeCommit = false
+		return st, fmt.Errorf("objstore: injected crash before commit (epoch %d)", cur)
+	}
+
+	// 3. Commit: superblock ordered after all interval writes are durable.
+	sb := encodeSuperblock(superblock{epoch: cur, indexAddr: idxAddr, indexLen: idxLen})
+	slotOff := int64(s.superSlot) * BlockSize
+	sbDone, err := s.dev.SubmitWrite(sb, slotOff)
+	if err != nil {
+		return st, err
+	}
+	if s.pendingDurable > sbDone {
+		// The superblock transfer cannot start before its dependencies
+		// drain; model the serialization with one extra write latency.
+		sbDone = s.pendingDurable + s.costs.DevWriteLatency
+	}
+	s.superSlot = 1 - s.superSlot
+	s.pendingDurable = sbDone
+
+	// 4. The committed checkpoint joins retained history. Its index
+	// blocks are deliberately NOT deadlisted: their lifetime is implied
+	// by the retained list itself (freed directly when the checkpoint is
+	// released). Serializing them into the index would make the index
+	// describe its own storage — self-referential metadata whose size
+	// compounds every epoch.
+	s.retained = append(s.retained, ckptInfo{epoch: cur, indexAddr: idxAddr, indexLen: idxLen})
+	for i := int64(0); i < blocksFor(idxLen); i++ {
+		delete(s.birthOf, idxAddr+i*BlockSize)
+	}
+	s.epoch = cur
+	s.durableAt[cur] = sbDone
+	s.stats.Checkpoints++
+	s.stats.MetaBytes += st.MetaBytes
+	st.DurableAt = sbDone
+	st.CommitCharged = sw.Elapsed()
+	return st, nil
+}
+
+// patchI64 overwrites an 8-byte little-endian field in place.
+func patchI64(b []byte, off int, v int64) {
+	for i := 0; i < 8; i++ {
+		b[off+i] = byte(uint64(v) >> (8 * i))
+	}
+}
+
+// WaitDurable blocks (in virtual time) until epoch's commit is durable.
+func (s *Store) WaitDurable(epoch Epoch) error {
+	s.mu.Lock()
+	t, ok := s.durableAt[epoch]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoEpoch, epoch)
+	}
+	s.dev.WaitUntil(t)
+	return nil
+}
+
+// DurableAt returns the virtual time epoch became durable.
+func (s *Store) DurableAt(epoch Epoch) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.durableAt[epoch]
+	return t, ok
+}
+
+// readSuperblocks picks the valid superblock with the highest epoch,
+// returning it and its slot.
+func (s *Store) readSuperblocks() (superblock, int, error) {
+	var best superblock
+	slot := -1
+	buf := make([]byte, BlockSize)
+	for i := 0; i < 2; i++ {
+		if _, err := s.dev.ReadAt(buf, int64(i)*BlockSize); err != nil {
+			return superblock{}, 0, err
+		}
+		if sb, ok := decodeSuperblock(buf); ok && (slot == -1 || sb.epoch > best.epoch) {
+			best, slot = sb, i
+		}
+	}
+	if slot == -1 {
+		return superblock{}, 0, fmt.Errorf("%w: no valid superblock", ErrCorrupt)
+	}
+	return best, slot, nil
+}
+
+// loadIndex replaces the store's live state with the index at addr.
+// Requires the caller to hold no references into the old state.
+func (s *Store) loadIndex(addr, length int64) error {
+	idx, err := s.fetchIndex(addr, length)
+	if err != nil {
+		return err
+	}
+	s.nextOID = idx.nextOID
+	s.nextBlk = idx.nextBlk
+	s.freelist = idx.freelist
+	s.deadlist = idx.deadlist
+	s.retained = append(idx.retained, ckptInfo{epoch: idx.epoch, indexAddr: addr, indexLen: length})
+	s.objects = make(map[OID]*object, len(idx.objects))
+	for _, ent := range idx.objects {
+		o, err := s.fetchRecord(ent.addr, ent.len)
+		if err != nil {
+			return err
+		}
+		o.recordAddr = ent.addr
+		o.recordLen = ent.len
+		s.objects[o.oid] = o
+	}
+	return nil
+}
+
+// fetchIndex reads and decodes an index.
+func (s *Store) fetchIndex(addr, length int64) (*indexState, error) {
+	buf := make([]byte, length)
+	if _, err := s.dev.ReadAt(buf, addr); err != nil {
+		return nil, err
+	}
+	return decodeIndex(buf)
+}
+
+// fetchRecord reads and decodes an object record.
+func (s *Store) fetchRecord(addr, length int64) (*object, error) {
+	buf := make([]byte, length)
+	if _, err := s.dev.ReadAt(buf, addr); err != nil {
+		return nil, err
+	}
+	return decodeRecord(buf)
+}
+
+// View is a read-only image of one retained checkpoint, used for restoring
+// history ("sls restore" of a named checkpoint, time-travel debugging).
+type View struct {
+	s       *Store
+	epoch   Epoch
+	objects map[OID]*object
+}
+
+// RestoreView opens a read-only view of epoch. The current epoch and any
+// retained epoch are viewable.
+func (s *Store) RestoreView(epoch Epoch) (*View, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var info *ckptInfo
+	for i := range s.retained {
+		if s.retained[i].epoch == epoch {
+			info = &s.retained[i]
+			break
+		}
+	}
+	if info == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoEpoch, epoch)
+	}
+	idx, err := s.fetchIndex(info.indexAddr, info.indexLen)
+	if err != nil {
+		return nil, err
+	}
+	v := &View{s: s, epoch: epoch, objects: make(map[OID]*object, len(idx.objects))}
+	for _, ent := range idx.objects {
+		o, err := s.fetchRecord(ent.addr, ent.len)
+		if err != nil {
+			return nil, err
+		}
+		v.objects[o.oid] = o
+	}
+	return v, nil
+}
+
+// Epoch returns the epoch the view images.
+func (v *View) Epoch() Epoch { return v.epoch }
+
+// Objects lists OIDs present in the view.
+func (v *View) Objects() []OID {
+	out := make([]OID, 0, len(v.objects))
+	for oid := range v.objects {
+		out = append(out, oid)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Exists reports whether oid existed at the view's epoch.
+func (v *View) Exists(oid OID) bool {
+	_, ok := v.objects[oid]
+	return ok
+}
+
+// UType returns oid's type tag at the view's epoch.
+func (v *View) UType(oid OID) (uint16, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	return o.utype, nil
+}
+
+// Size returns oid's size at the view's epoch.
+func (v *View) Size(oid OID) (int64, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	return o.size, nil
+}
+
+// GetRecord returns oid's full content at the view's epoch.
+func (v *View) GetRecord(oid OID) ([]byte, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	if o.journal != nil {
+		return nil, ErrIsJournal
+	}
+	if o.chunks == nil {
+		return append([]byte(nil), o.inline...), nil
+	}
+	out := make([]byte, o.size)
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	if err := v.s.readRangeLocked(o, 0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DiffPages reports the page indexes of oid whose stored block differs
+// between retained epoch old and the current committed state — the changed
+// set a pre-copy migration round must resend. An object absent at the old
+// epoch diffs in full.
+func (s *Store) DiffPages(oid OID, old Epoch) ([]int64, error) {
+	v, err := s.RestoreView(old)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	cur, err := s.lookup(oid)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	oldObj := v.objects[oid]
+	// Collect the union of chunk indexes.
+	cis := make(map[int64]bool)
+	for ci := range cur.chunks {
+		cis[ci] = true
+	}
+	if oldObj != nil {
+		for ci := range oldObj.chunks {
+			cis[ci] = true
+		}
+	}
+	var out []int64
+	for ci := range cis {
+		curC, err := s.loadChunk(cur, ci*ChunkFanout, false)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		var oldC *chunk
+		if oldObj != nil {
+			oldC, err = s.loadChunk(oldObj, ci*ChunkFanout, false)
+			if err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+		}
+		for slot := int64(0); slot < ChunkFanout; slot++ {
+			var ca, oa int64
+			if curC != nil {
+				ca = curC.addrs[slot]
+			}
+			if oldC != nil {
+				oa = oldC.addrs[slot]
+			}
+			if ca != oa && ca != 0 {
+				out = append(out, ci*ChunkFanout+slot)
+			}
+		}
+	}
+	s.mu.Unlock()
+	sortInt64s(out)
+	return out, nil
+}
+
+// EachPageBulk streams every present page of oid at the view's epoch,
+// charging pipelined bandwidth (the eager history-restore path).
+func (v *View) EachPageBulk(oid OID, fn func(pg int64, data []byte) error) (int64, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	return v.s.eachPageBulkObj(o, fn)
+}
+
+// HasPage reports whether oid stored page pg at the view's epoch.
+func (v *View) HasPage(oid OID, pg int64) (bool, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return v.s.hasPageLocked(o, pg)
+}
+
+// ReadPage reads one page of oid at the view's epoch.
+func (v *View) ReadPage(oid OID, pg int64, buf []byte) (bool, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	if o.journal != nil {
+		return false, ErrIsJournal
+	}
+	if o.chunks == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		off := pg * BlockSize
+		if off < int64(len(o.inline)) {
+			copy(buf, o.inline[off:])
+			return true, nil
+		}
+		return false, nil
+	}
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return v.s.readPageLocked(o, pg, buf)
+}

@@ -1,0 +1,170 @@
+package objstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+)
+
+// Crash-injection property: under any interleaving of writes, checkpoints,
+// torn checkpoints (crash before the superblock), and recoveries, the
+// store always reads back exactly the state of the last *complete*
+// checkpoint plus any post-checkpoint writes that were reapplied.
+func TestTornCheckpointProperty(t *testing.T) {
+	type step struct {
+		Write uint8 // page index selector
+		Val   byte
+		Op    uint8 // 0 write, 1 checkpoint, 2 torn checkpoint + recover, 3 recover
+	}
+	f := func(steps []step) bool {
+		clk := clock.NewVirtual()
+		costs := clock.DefaultCosts()
+		dev := device.NewStripe(clk, costs, 4, 64<<10, 256<<20)
+		s, err := Format(dev, clk, costs)
+		if err != nil {
+			return false
+		}
+		oid := s.NewOID()
+		s.Ensure(oid, 2)
+		if _, err := s.Checkpoint(); err != nil {
+			return false
+		}
+		committed := map[uint8]byte{}
+		live := map[uint8]byte{}
+		page := make([]byte, BlockSize)
+		recover := func() bool {
+			s2, err := Recover(dev, clk, costs)
+			if err != nil {
+				return false
+			}
+			s = s2
+			live = map[uint8]byte{}
+			for k, v := range committed {
+				live[k] = v
+			}
+			return true
+		}
+		for _, st := range steps {
+			switch st.Op % 4 {
+			case 0:
+				pg := int64(st.Write % 32)
+				page[0] = st.Val
+				if err := s.WritePage(oid, pg, page); err != nil {
+					return false
+				}
+				live[st.Write%32] = st.Val
+			case 1:
+				if _, err := s.Checkpoint(); err != nil {
+					return false
+				}
+				committed = map[uint8]byte{}
+				for k, v := range live {
+					committed[k] = v
+				}
+			case 2:
+				s.FailBeforeCommit = true
+				if _, err := s.Checkpoint(); err == nil {
+					return false // injected crash must surface
+				}
+				if !recover() {
+					return false
+				}
+			case 3:
+				if !recover() {
+					return false
+				}
+			}
+		}
+		for pg, want := range live {
+			found, err := s.ReadPage(oid, int64(pg), page)
+			if err != nil || !found || page[0] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Views of retained epochs are immutable: later writes and checkpoints
+// never change what a view reads.
+func TestViewImmutabilityProperty(t *testing.T) {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	dev := device.NewStripe(clk, costs, 4, 64<<10, 512<<20)
+	s, err := Format(dev, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := s.NewOID()
+	s.Ensure(oid, 2)
+	page := make([]byte, BlockSize)
+
+	// Build 10 epochs, each stamping pages with the epoch number.
+	type snap struct {
+		epoch Epoch
+		val   byte
+	}
+	var snaps []snap
+	for e := byte(1); e <= 10; e++ {
+		for pg := int64(0); pg < 8; pg++ {
+			page[0] = e
+			if err := s.WritePage(oid, pg, page); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st, err := s.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps = append(snaps, snap{st.Epoch, e})
+	}
+	// Every retained view still reads its own epoch's stamp.
+	for _, sn := range snaps {
+		v, err := s.RestoreView(sn.epoch)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", sn.epoch, err)
+		}
+		for pg := int64(0); pg < 8; pg++ {
+			if _, err := v.ReadPage(oid, pg, page); err != nil {
+				t.Fatal(err)
+			}
+			if page[0] != sn.val {
+				t.Fatalf("epoch %d page %d = %d, want %d", sn.epoch, pg, page[0], sn.val)
+			}
+		}
+	}
+}
+
+func TestRecoveryAfterManyEpochs(t *testing.T) {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	dev := device.NewStripe(clk, costs, 4, 64<<10, 512<<20)
+	s, err := Format(dev, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid := s.NewOID()
+	for e := 0; e < 100; e++ {
+		s.PutRecord(oid, 1, []byte(fmt.Sprintf("epoch-%d", e)))
+		if _, err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		if e%10 == 0 {
+			s.ReleaseCheckpointsBefore(s.Epoch())
+		}
+	}
+	s2, err := Recover(dev, clk, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.GetRecord(oid)
+	if err != nil || string(got) != "epoch-99" {
+		t.Fatalf("got %q err=%v", got, err)
+	}
+}

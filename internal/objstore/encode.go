@@ -1,0 +1,362 @@
+package objstore
+
+// Binary encoding for on-device metadata: object records, checkpoint
+// indexes, and superblocks. All integers are little-endian; every structure
+// ends in a CRC-32 so recovery can reject torn or stale metadata.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Magic numbers for the on-device structures.
+const (
+	magicSuper  = 0x41525342 // "ARSB"
+	magicIndex  = 0x41524958 // "ARIX"
+	magicRecord = 0x41524F42 // "AROB"
+	magicFrame  = 0x4152464D // "ARFM"
+)
+
+// Object shapes stored in records.
+const (
+	shapeInline  = 1
+	shapeChunks  = 2
+	shapeJournal = 3
+)
+
+// enc is an append-only little-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u16(v uint16) { e.b = binary.LittleEndian.AppendUint16(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// seal appends the CRC of everything encoded so far.
+func (e *enc) seal() []byte {
+	e.u32(crc32.ChecksumIEEE(e.b))
+	return e.b
+}
+
+// dec is a sequential little-endian decoder.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func newDec(b []byte) (*dec, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: short buffer", ErrCorrupt)
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return &dec{b: body}, nil
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated structure", ErrCorrupt)
+	}
+}
+
+func (d *dec) u8() uint8 {
+	if d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64 { return int64(d.u64()) }
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	v := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return v
+}
+
+// encodeRecord serializes one object's committed state.
+func encodeRecord(o *object) []byte {
+	var e enc
+	e.u32(magicRecord)
+	e.u64(uint64(o.oid))
+	e.u16(o.utype)
+	e.i64(o.size)
+	switch {
+	case o.journal != nil:
+		e.u8(shapeJournal)
+		e.i64(o.journal.extentAddr)
+		e.i64(o.journal.capBlocks)
+		e.u64(o.journal.generation)
+		e.u64(o.journal.flushedSeq)
+	case o.chunks != nil:
+		e.u8(shapeChunks)
+		// Chunk roots, sorted for determinism.
+		idxs := sortedChunkIdxs(o)
+		e.u32(uint32(len(idxs)))
+		for _, ci := range idxs {
+			e.i64(ci)
+			e.i64(o.chunks[ci].addr)
+		}
+	default:
+		e.u8(shapeInline)
+		e.bytes(o.inline)
+	}
+	return e.seal()
+}
+
+func sortedChunkIdxs(o *object) []int64 {
+	idxs := make([]int64, 0, len(o.chunks))
+	for ci := range o.chunks {
+		idxs = append(idxs, ci)
+	}
+	for i := 1; i < len(idxs); i++ { // insertion sort; chunk counts are small
+		for j := i; j > 0 && idxs[j-1] > idxs[j]; j-- {
+			idxs[j-1], idxs[j] = idxs[j], idxs[j-1]
+		}
+	}
+	return idxs
+}
+
+// decodeRecord parses an object record. Chunk contents load lazily.
+func decodeRecord(b []byte) (*object, error) {
+	d, err := newDec(b)
+	if err != nil {
+		return nil, err
+	}
+	if d.u32() != magicRecord {
+		return nil, fmt.Errorf("%w: bad record magic", ErrCorrupt)
+	}
+	o := &object{
+		oid:   OID(d.u64()),
+		utype: d.u16(),
+		size:  d.i64(),
+	}
+	switch shape := d.u8(); shape {
+	case shapeJournal:
+		o.journal = &journalState{
+			extentAddr: d.i64(),
+			capBlocks:  d.i64(),
+			generation: d.u64(),
+			flushedSeq: d.u64(),
+		}
+	case shapeChunks:
+		n := int(d.u32())
+		o.chunks = make(map[int64]*chunk, n)
+		for i := 0; i < n; i++ {
+			ci := d.i64()
+			addr := d.i64()
+			o.chunks[ci] = &chunk{addr: addr, loaded: false}
+		}
+	case shapeInline:
+		raw := d.bytes()
+		o.inline = append([]byte(nil), raw...)
+	default:
+		return nil, fmt.Errorf("%w: unknown shape %d", ErrCorrupt, shape)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return o, nil
+}
+
+// encodeChunk serializes a block-map chunk into exactly one block.
+func encodeChunk(c *chunk) []byte {
+	b := make([]byte, BlockSize)
+	for i, a := range c.addrs {
+		binary.LittleEndian.PutUint64(b[i*8:], uint64(a))
+	}
+	return b
+}
+
+// decodeChunk fills a chunk's address array from one block.
+func decodeChunk(c *chunk, b []byte) {
+	for i := range c.addrs {
+		c.addrs[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	c.loaded = true
+}
+
+// indexState is the decoded form of a checkpoint index.
+type indexState struct {
+	epoch    Epoch
+	nextOID  OID
+	nextBlk  int64
+	freelist []int64
+	deadlist []deadBlock
+	retained []ckptInfo
+	objects  []indexEntry
+}
+
+type indexEntry struct {
+	oid  OID
+	addr int64
+	len  int64
+}
+
+// nextBlkOffset is the fixed byte offset of the nextBlk field within an
+// encoded index, so it can be patched after the index's own blocks are
+// allocated. Layout: magic(4) epoch(8) nextOID(8) = 20.
+const nextBlkOffset = 20
+
+// encodeIndex serializes a checkpoint index. The caller patches nextBlk at
+// nextBlkOffset before sealing, so this returns the unsealed body.
+func encodeIndex(st *indexState) *enc {
+	var e enc
+	e.u32(magicIndex)
+	e.u64(uint64(st.epoch))
+	e.u64(uint64(st.nextOID))
+	e.i64(st.nextBlk) // patched later
+	e.u32(uint32(len(st.freelist)))
+	for _, a := range st.freelist {
+		e.i64(a)
+	}
+	e.u32(uint32(len(st.deadlist)))
+	for _, db := range st.deadlist {
+		e.i64(db.addr)
+		e.u64(uint64(db.birth))
+		e.u64(uint64(db.freedAt))
+	}
+	e.u32(uint32(len(st.retained)))
+	for _, c := range st.retained {
+		e.u64(uint64(c.epoch))
+		e.i64(c.indexAddr)
+		e.i64(c.indexLen)
+	}
+	e.u32(uint32(len(st.objects)))
+	for _, o := range st.objects {
+		e.u64(uint64(o.oid))
+		e.i64(o.addr)
+		e.i64(o.len)
+	}
+	return &e
+}
+
+// decodeIndex parses a checkpoint index.
+func decodeIndex(b []byte) (*indexState, error) {
+	d, err := newDec(b)
+	if err != nil {
+		return nil, err
+	}
+	if d.u32() != magicIndex {
+		return nil, fmt.Errorf("%w: bad index magic", ErrCorrupt)
+	}
+	st := &indexState{
+		epoch:   Epoch(d.u64()),
+		nextOID: OID(d.u64()),
+		nextBlk: d.i64(),
+	}
+	for i, n := 0, int(d.u32()); i < n && d.err == nil; i++ {
+		st.freelist = append(st.freelist, d.i64())
+	}
+	for i, n := 0, int(d.u32()); i < n && d.err == nil; i++ {
+		st.deadlist = append(st.deadlist, deadBlock{
+			addr: d.i64(), birth: Epoch(d.u64()), freedAt: Epoch(d.u64()),
+		})
+	}
+	for i, n := 0, int(d.u32()); i < n && d.err == nil; i++ {
+		st.retained = append(st.retained, ckptInfo{
+			epoch: Epoch(d.u64()), indexAddr: d.i64(), indexLen: d.i64(),
+		})
+	}
+	for i, n := 0, int(d.u32()); i < n && d.err == nil; i++ {
+		st.objects = append(st.objects, indexEntry{
+			oid: OID(d.u64()), addr: d.i64(), len: d.i64(),
+		})
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return st, nil
+}
+
+// superblock is the commit point.
+type superblock struct {
+	epoch     Epoch
+	indexAddr int64
+	indexLen  int64
+}
+
+// encodeSuperblock fills one block.
+func encodeSuperblock(sb superblock) []byte {
+	var e enc
+	e.u32(magicSuper)
+	e.u64(uint64(sb.epoch))
+	e.i64(sb.indexAddr)
+	e.i64(sb.indexLen)
+	body := e.seal()
+	out := make([]byte, BlockSize)
+	copy(out, body)
+	return out
+}
+
+// decodeSuperblock parses a superblock slot; ok is false for blank or
+// corrupt slots.
+func decodeSuperblock(b []byte) (superblock, bool) {
+	const bodyLen = 4 + 8 + 8 + 8 + 4
+	if len(b) < bodyLen {
+		return superblock{}, false
+	}
+	d, err := newDec(b[:bodyLen])
+	if err != nil {
+		return superblock{}, false
+	}
+	if d.u32() != magicSuper {
+		return superblock{}, false
+	}
+	sb := superblock{
+		epoch:     Epoch(d.u64()),
+		indexAddr: d.i64(),
+		indexLen:  d.i64(),
+	}
+	if d.err != nil {
+		return superblock{}, false
+	}
+	return sb, true
+}

@@ -1,0 +1,293 @@
+// Package objstore implements the Aurora object store (§7 of the paper): a
+// copy-on-write store designed for high-frequency, low-latency checkpoints.
+//
+// Objects are named by 64-bit object identifiers (OIDs) and represent POSIX
+// objects, memory objects, or files — all identically, which is what lets
+// Aurora preserve relationships between them. Data is never modified in
+// place (the one exception is journal objects, which exist precisely to give
+// the Aurora API a synchronous non-COW path). A checkpoint becomes visible
+// only when its superblock is durably written, so recovery always lands on
+// the last complete checkpoint. Retained checkpoints form the application's
+// execution history; releasing history is a deadlist scan, not a
+// log-structured cleaning pass.
+//
+// On-device layout:
+//
+//	block 0,1: alternating superblocks (commit points)
+//	block 2..: COW blocks — data pages, block-map chunks, object records,
+//	           checkpoint indexes — plus preallocated journal extents
+//
+// Each checkpoint writes: new data blocks (already submitted asynchronously
+// during the interval), block-map chunks for modified objects, one record
+// per modified object, and one index enumerating every object record and
+// the allocator state. The superblock points at the index.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"aurora/internal/clock"
+	"aurora/internal/mem"
+)
+
+// OID names an object in the store.
+type OID uint64
+
+// Epoch numbers checkpoints; epoch 0 is the formatted-empty state.
+type Epoch uint64
+
+// BlockSize is the store's allocation unit, one page.
+const BlockSize = mem.PageSize
+
+// ChunkFanout is the number of page slots per block-map chunk; one chunk of
+// 8-byte block addresses fills exactly one block.
+const ChunkFanout = BlockSize / 8
+
+// InlineMax is the largest object record payload kept inline in the record
+// instead of in data blocks. POSIX object records — including outliers like
+// a kqueue with a thousand registered events (~35 KiB) — stay inline, so a
+// record is always one contiguous read.
+const InlineMax = 64 << 10
+
+// Errors returned by the store.
+var (
+	ErrNoObject   = errors.New("objstore: no such object")
+	ErrNoEpoch    = errors.New("objstore: no such checkpoint")
+	ErrCorrupt    = errors.New("objstore: corrupt metadata")
+	ErrNotJournal = errors.New("objstore: object is not a journal")
+	ErrIsJournal  = errors.New("objstore: object is a journal")
+	ErrFull       = errors.New("objstore: device full")
+)
+
+// BlockDev is the storage a store runs on; *device.Stripe and *device.Device
+// both satisfy it.
+type BlockDev interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	SubmitWrite(p []byte, off int64) (time.Duration, error)
+	SubmitRead(p []byte, off int64) (time.Duration, error)
+	WaitUntil(t time.Duration)
+	Flush()
+	Size() int64
+}
+
+// deadBlock is a block awaiting garbage collection: it was born at (first
+// referenced by) checkpoint birth and superseded at freedAt; it may be
+// reused once no retained checkpoint epoch falls in [birth, freedAt).
+type deadBlock struct {
+	addr    int64
+	birth   Epoch
+	freedAt Epoch
+}
+
+// blockRun is a contiguous run of blocks in the metadata pool.
+type blockRun struct {
+	addr int64
+	n    int64
+}
+
+// ckptInfo describes one retained checkpoint.
+type ckptInfo struct {
+	epoch     Epoch
+	indexAddr int64
+	indexLen  int64
+}
+
+// object is the live, in-memory state of one store object.
+type object struct {
+	oid   OID
+	utype uint16
+	size  int64
+
+	// Exactly one of these shapes applies:
+	inline  []byte           // small record payload
+	chunks  map[int64]*chunk // block-map chunks by chunk index
+	journal *journalState    // non-COW journal extent
+
+	dirty      bool  // modified since last checkpoint
+	birth      Epoch // epoch the object was created in
+	recordAddr int64 // where the last committed record lives
+	recordLen  int64
+}
+
+// chunk is one cached/modified block-map chunk.
+type chunk struct {
+	addrs  [ChunkFanout]int64 // 0 = hole
+	dirty  bool
+	loaded bool  // addrs valid (vs. lazily loadable from addr)
+	addr   int64 // committed location; 0 if never written
+}
+
+// Stats summarizes store activity.
+type Stats struct {
+	Checkpoints     int64
+	ObjectsLive     int64
+	BlocksAllocated int64
+	BlocksFreed     int64
+	MetaBytes       int64
+	DataBytes       int64
+}
+
+// Store is the Aurora object store.
+type Store struct {
+	mu    sync.Mutex
+	dev   BlockDev
+	clk   clock.Clock
+	costs *clock.Costs
+
+	epoch    Epoch // last committed epoch
+	nextOID  OID
+	nextBlk  int64
+	freelist []int64
+	deadlist []deadBlock
+	retained []ckptInfo
+
+	// birthOf tracks the epoch in which blocks allocated during this
+	// session were born; blocks loaded from committed metadata default to
+	// birth 0 (conservatively "as old as any retained checkpoint").
+	birthOf map[int64]Epoch
+
+	// metaFree recycles released checkpoints' index runs. It is kept in
+	// memory only, NEVER serialized: an index must not describe its own
+	// storage, or the metadata describing the free space grows with the
+	// free space and compounds exponentially. After a crash the pool is
+	// simply empty (a bounded, documented leak of a few dozen blocks).
+	metaFree []blockRun
+
+	objects map[OID]*object
+	deleted map[OID]bool // deleted since last checkpoint (must leave index)
+
+	// pendingDurable is the completion time of the latest submitted write
+	// belonging to the in-progress interval; the next commit waits for it.
+	pendingDurable time.Duration
+	// durableAt maps committed epochs to their durability times.
+	durableAt map[Epoch]time.Duration
+
+	superSlot int // which superblock slot the next commit uses
+
+	stats Stats
+
+	// FailBeforeCommit, when set, makes the next Checkpoint write all data
+	// and metadata but "crash" before the superblock — for recovery tests.
+	FailBeforeCommit bool
+}
+
+// Format initializes an empty store on dev, committing epoch 0.
+func Format(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
+	s := &Store{
+		dev:       dev,
+		clk:       clk,
+		costs:     costs,
+		nextOID:   1,
+		nextBlk:   2, // blocks 0,1 are superblocks
+		objects:   make(map[OID]*object),
+		deleted:   make(map[OID]bool),
+		durableAt: make(map[Epoch]time.Duration),
+		birthOf:   make(map[int64]Epoch),
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recover opens the store from the last complete checkpoint on dev. All
+// uncommitted state (the paper's crash case) is invisible.
+func Recover(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
+	s := &Store{
+		dev:       dev,
+		clk:       clk,
+		costs:     costs,
+		objects:   make(map[OID]*object),
+		deleted:   make(map[OID]bool),
+		durableAt: make(map[Epoch]time.Duration),
+		birthOf:   make(map[int64]Epoch),
+	}
+	sb, slot, err := s.readSuperblocks()
+	if err != nil {
+		return nil, err
+	}
+	s.superSlot = 1 - slot // next commit goes to the other slot
+	if err := s.loadIndex(sb.indexAddr, sb.indexLen); err != nil {
+		return nil, err
+	}
+	s.epoch = sb.epoch
+	return s, nil
+}
+
+// Epoch returns the last committed checkpoint epoch.
+func (s *Store) Epoch() Epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// curEpoch is the epoch the in-progress interval will commit as. Requires mu.
+func (s *Store) curEpoch() Epoch { return s.epoch + 1 }
+
+// PendingDurable reports the virtual completion time of the latest
+// asynchronous write submitted to the device — the write-behind horizon.
+// Callers use it for flow control (bounding dirty data in flight).
+func (s *Store) PendingDurable() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingDurable
+}
+
+// NewOID allocates a fresh object identifier.
+func (s *Store) NewOID() OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	oid := s.nextOID
+	s.nextOID++
+	return oid
+}
+
+// Stats returns a snapshot of store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.ObjectsLive = int64(len(s.objects))
+	return st
+}
+
+// Objects lists live OIDs in ascending order.
+func (s *Store) Objects() []OID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OID, 0, len(s.objects))
+	for oid := range s.objects {
+		out = append(out, oid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// lookup requires mu.
+func (s *Store) lookup(oid OID) (*object, error) {
+	o, ok := s.objects[oid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	return o, nil
+}
+
+// ensure returns the object, creating it if absent. Requires mu.
+func (s *Store) ensure(oid OID, utype uint16) *object {
+	o, ok := s.objects[oid]
+	if !ok {
+		o = &object{oid: oid, utype: utype, birth: s.curEpoch()}
+		s.objects[oid] = o
+		if oid >= s.nextOID {
+			s.nextOID = oid + 1
+		}
+		delete(s.deleted, oid)
+	}
+	o.dirty = true
+	return o
+}

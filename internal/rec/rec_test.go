@@ -1,0 +1,141 @@
+package rec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.U8(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.U16(0xBEEF)
+	e.U32(0xDEADBEEF)
+	e.U64(0x0123456789ABCDEF)
+	e.I64(-42)
+	e.Bytes([]byte{1, 2, 3})
+	e.Str("hello")
+	sealed := e.Seal()
+
+	d, err := NewDecoder(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.U8() != 7 || !d.Bool() || d.Bool() {
+		t.Fatal("u8/bool")
+	}
+	if d.U16() != 0xBEEF || d.U32() != 0xDEADBEEF || d.U64() != 0x0123456789ABCDEF {
+		t.Fatal("ints")
+	}
+	if d.I64() != -42 {
+		t.Fatal("i64")
+	}
+	if !bytes.Equal(d.Bytes(), []byte{1, 2, 3}) || d.Str() != "hello" {
+		t.Fatal("bytes/str")
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("err=%v remaining=%d", d.Err(), d.Remaining())
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	e := NewEncoder()
+	e.Str("important data")
+	sealed := e.Seal()
+	sealed[3] ^= 0x40
+	if _, err := NewDecoder(sealed); err == nil {
+		t.Fatal("bit flip not detected")
+	}
+	if _, err := NewDecoder(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := NewDecoder([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestTruncatedDecodeFails(t *testing.T) {
+	d := NewRawDecoder([]byte{1, 2})
+	_ = d.U64()
+	if d.Err() == nil {
+		t.Fatal("truncated u64 read succeeded")
+	}
+	// Further reads keep failing without panicking.
+	_ = d.Str()
+	_ = d.Bytes()
+	if d.Err() == nil {
+		t.Fatal("error cleared")
+	}
+}
+
+func TestBytesLengthLie(t *testing.T) {
+	e := NewEncoder()
+	e.U32(1 << 30) // claims a huge payload
+	d := NewRawDecoder(e.Raw())
+	if d.Bytes() != nil || d.Err() == nil {
+		t.Fatal("lying length accepted")
+	}
+}
+
+func TestBytesAreCopied(t *testing.T) {
+	e := NewEncoder()
+	e.Bytes([]byte("mutable"))
+	d, err := NewDecoder(e.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Bytes()
+	got[0] = 'X'
+	d2, _ := NewDecoder(e.Seal())
+	if d2.Bytes()[0] != 'm' {
+		t.Fatal("decoder returned aliased memory")
+	}
+}
+
+// Property: any sequence of typed values round-trips exactly.
+func TestRoundTripProperty(t *testing.T) {
+	type sample struct {
+		A uint8
+		B bool
+		C uint16
+		D uint32
+		E uint64
+		F int64
+		G []byte
+		H string
+	}
+	f := func(s sample) bool {
+		e := NewEncoder()
+		e.U8(s.A)
+		e.Bool(s.B)
+		e.U16(s.C)
+		e.U32(s.D)
+		e.U64(s.E)
+		e.I64(s.F)
+		e.Bytes(s.G)
+		e.Str(s.H)
+		d, err := NewDecoder(e.Seal())
+		if err != nil {
+			return false
+		}
+		return d.U8() == s.A && d.Bool() == s.B && d.U16() == s.C &&
+			d.U32() == s.D && d.U64() == s.E && d.I64() == s.F &&
+			bytes.Equal(d.Bytes(), s.G) && d.Str() == s.H && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLen(t *testing.T) {
+	e := NewEncoder()
+	if e.Len() != 0 {
+		t.Fatal("fresh encoder non-empty")
+	}
+	e.U64(1)
+	if e.Len() != 8 {
+		t.Fatalf("len = %d", e.Len())
+	}
+}

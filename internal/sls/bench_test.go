@@ -1,0 +1,119 @@
+package sls
+
+import (
+	"testing"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/kern"
+	"aurora/internal/mem"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/vm"
+)
+
+func benchWorld(b *testing.B) *world {
+	b.Helper()
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	dev := device.NewStripe(clk, costs, 4, 64<<10, 4<<30)
+	store, err := objstore.Format(dev, clk, costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := slsfs.Format(store, clk, costs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vmsys := vm.NewSystem(mem.New(0), clk, costs)
+	k := kern.New(clk, costs, vmsys, fs)
+	return &world{clk: clk, costs: costs, dev: dev, store: store, fs: fs, k: k, o: New(k, store)}
+}
+
+// BenchmarkCheckpointIdle measures the real cost of checkpointing an idle
+// process with a modest descriptor table (wall time of the simulator).
+func BenchmarkCheckpointIdle(b *testing.B) {
+	w := benchWorld(b)
+	p := w.k.NewProc("idle")
+	for i := 0; i < 32; i++ {
+		p.Open("/f", kern.ORead|kern.OWrite, i == 0)
+	}
+	va, _ := p.Mmap(16<<20, vm.ProtRead|vm.ProtWrite, false)
+	buf := make([]byte, vm.PageSize)
+	for pg := uint64(0); pg < 1024; pg++ {
+		p.WriteMem(va+pg*vm.PageSize, buf)
+	}
+	g := w.o.CreateGroup("idle")
+	g.RetainEpochs = 4
+	g.Attach(p)
+	g.Checkpoint(CkptIncremental)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Checkpoint(CkptIncremental); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointDirty1k measures a checkpoint with 1024 dirty pages.
+func BenchmarkCheckpointDirty1k(b *testing.B) {
+	w := benchWorld(b)
+	p := w.k.NewProc("busy")
+	va, _ := p.Mmap(16<<20, vm.ProtRead|vm.ProtWrite, false)
+	buf := make([]byte, vm.PageSize)
+	g := w.o.CreateGroup("busy")
+	g.RetainEpochs = 4
+	g.Attach(p)
+	for pg := uint64(0); pg < 4096; pg++ {
+		p.WriteMem(va+pg*vm.PageSize, buf)
+	}
+	g.Checkpoint(CkptIncremental)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for pg := uint64(0); pg < 1024; pg++ {
+			p.WriteMem(va+pg*vm.PageSize, buf)
+		}
+		b.StartTimer()
+		if _, err := g.Checkpoint(CkptIncremental); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRestore16MiB measures a full restore's wall time.
+func BenchmarkRestore16MiB(b *testing.B) {
+	w := benchWorld(b)
+	p := w.k.NewProc("app")
+	va, _ := p.Mmap(16<<20, vm.ProtRead|vm.ProtWrite, false)
+	buf := make([]byte, vm.PageSize)
+	for pg := uint64(0); pg < 4096; pg++ {
+		p.WriteMem(va+pg*vm.PageSize, buf)
+	}
+	g := w.o.CreateGroup("app")
+	g.Attach(p)
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store2, err := objstore.Recover(w.dev, w.clk, w.costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fs2, err := slsfs.Recover(store2, w.clk, w.costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		k2 := kern.New(w.clk, w.costs, vm.NewSystem(mem.New(0), w.clk, w.costs), fs2)
+		o2 := New(k2, store2)
+		b.StartTimer()
+		if _, _, err := o2.RestoreGroup("app", store2, RestoreFull, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

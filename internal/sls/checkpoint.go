@@ -1,0 +1,973 @@
+package sls
+
+import (
+	"fmt"
+	"time"
+
+	"aurora/internal/clock"
+	"aurora/internal/kern"
+	"aurora/internal/mem"
+	"aurora/internal/objstore"
+	"aurora/internal/rec"
+	"aurora/internal/vm"
+)
+
+// The checkpoint path (§4, §5, §6):
+//
+//  1. Wait for the previous checkpoint's flush (Aurora never overlaps two),
+//     then release externally-synchronized messages it covered.
+//  2. Quiesce the system at the kernel boundary.
+//  3. Collapse the previous interval's fully-flushed system shadows
+//     (Aurora's reversed collapse, bounding chains at length two).
+//  4. Serialize every POSIX object reachable from the group — each into
+//     its own on-disk object, sharing preserved by construction.
+//  5. System-shadow all writable memory.
+//  6. Resume the applications. Everything after this overlaps execution.
+//  7. Flush the frozen shadows' pages into their objects' on-disk pages.
+//  8. Commit the store checkpoint (the superblock is the atomic cut).
+
+// Entry kinds in serialized address-space records.
+const (
+	entAnon uint8 = iota
+	entVnodeShared
+	entDevice
+	entVDSO
+)
+
+// Memory-object backer kinds.
+const (
+	backNone uint8 = iota
+	backAnon
+	backVnode
+)
+
+// Checkpoint takes a checkpoint of the whole consistency group.
+func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
+	o := g.o
+	st := CheckpointStats{Kind: kind}
+
+	// 1. Previous flush must be durable; its covered messages release.
+	if g.lastEpoch != 0 {
+		if err := o.Store.WaitDurable(g.lastEpoch); err == nil {
+			g.releaseES()
+		}
+	}
+
+	stop := clock.StartStopwatch(o.Clk)
+	o.K.Quiesce()
+	o.Clk.Advance(o.Costs.CheckpointFloor)
+
+	// 2. Collapse previous shadows (their flush completed above). A
+	// shadow frozen by a mem-only checkpoint still holds dirty pages —
+	// collapsing it would bury unflushed data in the base, so it stays
+	// mid-chain where the next committing checkpoint's trapped-transient
+	// flush picks it up.
+	for _, pair := range g.pending {
+		frozen := pair.Frozen
+		if !g.transient[frozen] {
+			continue
+		}
+		clean := true
+		frozen.EachPage(func(pg int64, p *mem.Page) {
+			if p.Dirty {
+				clean = false
+			}
+		})
+		if clean && frozen.ShadowCount() == 1 && pair.Live.Backer() == frozen && frozen.Backer() != nil {
+			vm.CollapseAurora(pair.Live, frozen)
+			delete(g.transient, frozen)
+		}
+		// Multi-shadow (fork mid-interval), baseless, or unflushed
+		// objects stay in the chain; their pages either were already
+		// flushed to the persistent root or will be by flushTrapped.
+	}
+	g.pending = nil
+
+	if kind != CkptMemOnly {
+		// ES: everything held up to this cut is covered by this
+		// checkpoint. (A mem-only capture commits nothing, so it can
+		// neither cover nor release anything.)
+		g.esCovered = append(g.esCovered, g.esHeld...)
+		g.esHeld = nil
+
+		// Record/replay: inputs before the cut are inside the captured
+		// socket buffers, so the bounded log truncates here.
+		g.onCheckpointTruncate()
+	}
+
+	// 3. Serialize POSIX objects.
+	osSW := clock.StartStopwatch(o.Clk)
+	ser := newSerializer(g)
+	procs := g.Procs()
+	var ephemeral []*kern.Proc
+	for _, p := range procs {
+		if p.Exited() {
+			continue
+		}
+		if p.Ephemeral {
+			ephemeral = append(ephemeral, p)
+			continue
+		}
+		if err := ser.proc(p); err != nil {
+			o.K.Resume()
+			return st, err
+		}
+	}
+	// Shared-memory segments exist outside descriptor tables (SysV
+	// especially); serialize the namespaces too.
+	for _, seg := range o.K.ShmSegments() {
+		if _, err := ser.shm(seg); err != nil {
+			o.K.Resume()
+			return st, err
+		}
+	}
+	if err := ser.group(ephemeral); err != nil {
+		o.K.Resume()
+		return st, err
+	}
+	st.OSTime = osSW.Elapsed()
+	st.Objects = ser.count
+
+	// 3b. Shared file mappings: the Aurora file system provides COW for
+	// file pages (§6), so vnode objects are never shadowed — instead
+	// their dirty pages are captured into the file's store object here,
+	// inside the quiesce window, for a consistent cut. The store copies
+	// the data synchronously and flushes it asynchronously.
+	if err := g.writebackMappedFiles(); err != nil {
+		o.K.Resume()
+		return st, err
+	}
+
+	// 4. System shadowing.
+	memSW := clock.StartStopwatch(o.Clk)
+	var backrefs []vm.BackRef
+	for _, seg := range o.K.ShmSegments() {
+		backrefs = append(backrefs, seg)
+	}
+	pairs := vm.SystemShadowFiltered(o.K.VM, g.Maps(), backrefs, func(m *vm.Map, e *vm.Entry) bool {
+		return g.entryExcluded(m, e)
+	})
+	for _, pair := range pairs {
+		g.transient[pair.Live] = true
+		st.DirtyPages += int64(pair.Frozen.Pages())
+	}
+	st.MemTime = memSW.Elapsed()
+
+	o.K.Resume()
+	st.StopTime = stop.Elapsed()
+
+	if kind == CkptMemOnly {
+		// In-memory capture only: keep the shadows for the next pass but
+		// skip the store entirely.
+		g.pending = pairs
+		g.lastCkpt = o.Clk.Now()
+		g.ckpts++
+		return st, nil
+	}
+
+	// 5–7. Flush memory and commit.
+	flushed, err := g.flushPairs(pairs, kind)
+	if err != nil {
+		return st, err
+	}
+	st.FlushBytes = flushed
+	trapped, err := g.flushTrapped(pairs)
+	if err != nil {
+		return st, err
+	}
+	st.FlushBytes += trapped
+	g.pending = pairs
+
+	// Any persistent object serialized but never flushed (read-only
+	// regions that no shadow covers) flushes its resident content once.
+	if err := g.flushColdObjects(ser); err != nil {
+		return st, err
+	}
+
+	// Delete store objects that vanished since the last checkpoint.
+	for oid := range g.prevLive {
+		if !ser.live[oid] {
+			o.Store.Delete(oid) //nolint:errcheck // absent is fine
+		}
+	}
+	g.prevLive = ser.live
+
+	cst, err := o.Store.Checkpoint()
+	if err != nil {
+		return st, err
+	}
+	st.Epoch = cst.Epoch
+	st.DurableAt = cst.DurableAt
+	g.lastEpoch = cst.Epoch
+	g.lastCkpt = o.Clk.Now()
+	g.ckpts++
+
+	if g.RetainEpochs > 0 && int(cst.Epoch) > g.RetainEpochs {
+		o.Store.ReleaseCheckpointsBefore(cst.Epoch - objstore.Epoch(g.RetainEpochs) + 1)
+	}
+	return st, nil
+}
+
+// Barrier waits until the group's last checkpoint is durable and releases
+// externally-synchronized messages — sls_barrier.
+func (g *Group) Barrier() error {
+	if g.lastEpoch == 0 {
+		return nil
+	}
+	if err := g.o.Store.WaitDurable(g.lastEpoch); err != nil {
+		return err
+	}
+	g.releaseES()
+	return nil
+}
+
+// persistentRoot walks down from obj past transient system shadows to the
+// object that owns an on-disk identity.
+func (g *Group) persistentRoot(obj *vm.Object) *vm.Object {
+	for g.transient[obj] && obj.Backer() != nil {
+		obj = obj.Backer()
+	}
+	return obj
+}
+
+// flushPairs writes frozen shadow pages into their persistent roots' store
+// objects. First flush (or CkptFull) writes the full visible image; later
+// flushes write only the frozen dirty set.
+func (g *Group) flushPairs(pairs []vm.ShadowPair, kind CheckpointKind) (int64, error) {
+	o := g.o
+	var bytes int64
+	for _, pair := range pairs {
+		target := g.persistentRoot(pair.Frozen)
+		toid := g.oidFor(target)
+		o.Store.Ensure(toid, UTMemObject)
+		full := kind == CkptFull || !g.flushed[toid]
+		var err error
+		var n int64
+		if full {
+			n, err = g.flushFullImage(pair.Frozen, target, toid)
+		} else {
+			n, err = g.flushDirty(pair.Frozen, toid)
+		}
+		if err != nil {
+			return bytes, err
+		}
+		bytes += n
+		g.flushed[toid] = true
+		// The object is now store-backed: clean pages become evictable
+		// through the unified checkpoint/swap path.
+		g.installPager(target, toid)
+	}
+	return bytes, nil
+}
+
+// writebackMappedFiles writes the dirty pages of shared file mappings back
+// into their files' store objects. Runs under quiesce; the COW store
+// guarantees the previous checkpoint's file content is untouched.
+func (g *Group) writebackMappedFiles() error {
+	seen := make(map[*vm.Object]bool)
+	for _, m := range g.Maps() {
+		for _, e := range m.Entries() {
+			if e.Obj.Type != vm.Vnode || seen[e.Obj] {
+				continue
+			}
+			seen[e.Obj] = true
+			pager := e.Obj.Pager()
+			if pager == nil {
+				continue
+			}
+			oid := objstore.OID(pager.BackingOID())
+			if oid == 0 || !g.o.Store.Exists(oid) {
+				continue
+			}
+			size, err := g.o.Store.Size(oid)
+			if err != nil {
+				return err
+			}
+			var werr error
+			e.Obj.EachPage(func(pg int64, p *mem.Page) {
+				if werr != nil || !p.Dirty {
+					return
+				}
+				off := pg * mem.PageSize
+				if off >= size {
+					return // beyond EOF: mapped-page tail, not file data
+				}
+				n := int64(mem.PageSize)
+				if off+n > size {
+					n = size - off
+				}
+				g.o.Clk.Advance(g.o.Costs.MemCopyPerPage)
+				if err := g.o.Store.WriteAt(oid, off, p.Data[:n]); err != nil {
+					werr = err
+					return
+				}
+				p.Dirty = false
+				p.Backed = true
+			})
+			if werr != nil {
+				return werr
+			}
+		}
+	}
+	return nil
+}
+
+// flushTrapped handles fork's interaction with system shadowing: a fork
+// mid-interval interposes its own (persistent) shadows above the live
+// transient, leaving that transient trapped mid-chain with pages written
+// before the fork — shared state both sides must still see. Those pages
+// flush into the transient's persistent root (the shared backing object's
+// store object), exactly once; the trapped object is immutable from then
+// on, since no entry references it directly anymore.
+func (g *Group) flushTrapped(pairs []vm.ShadowPair) (int64, error) {
+	var bytes int64
+	for _, pair := range pairs {
+		// Collect top-down, flush bottom-up: when transients stack, the
+		// older (deeper) one's pages must land first so newer versions
+		// overwrite them in the store.
+		var trapped []*vm.Object
+		for obj := pair.Frozen.Backer(); obj != nil; obj = obj.Backer() {
+			if g.transient[obj] && !g.trappedDone[obj] {
+				trapped = append(trapped, obj)
+			}
+		}
+		for i := len(trapped) - 1; i >= 0; i-- {
+			obj := trapped[i]
+			target := g.persistentRoot(obj.Backer())
+			if target == nil {
+				continue
+			}
+			toid := g.oidFor(target)
+			g.o.Store.Ensure(toid, UTMemObject)
+			n, err := g.flushDirty(obj, toid)
+			if err != nil {
+				return bytes, err
+			}
+			bytes += n
+			g.trappedDone[obj] = true
+		}
+	}
+	return bytes, nil
+}
+
+// flushDirty writes only the frozen shadow's own (dirty) pages.
+func (g *Group) flushDirty(frozen *vm.Object, toid objstore.OID) (int64, error) {
+	var bytes int64
+	var err error
+	frozen.EachPage(func(pg int64, p *mem.Page) {
+		if err != nil {
+			return
+		}
+		if e := g.o.Store.WritePage(toid, pg, p.Data); e != nil {
+			err = e
+			return
+		}
+		p.Dirty = false
+		p.Backed = true
+		bytes += mem.PageSize
+	})
+	return bytes, err
+}
+
+// flushFullImage writes the content visible at the frozen level down to and
+// including the persistent target (but not below it — pages under the
+// target, e.g. a mapped file's clean pages, restore from their own object).
+func (g *Group) flushFullImage(frozen, target *vm.Object, toid objstore.OID) (int64, error) {
+	var bytes int64
+	pages := mem.PagesFor(target.Size())
+	for pg := int64(0); pg < pages; pg++ {
+		p, owner := frozen.Lookup(pg)
+		if p == nil || !withinChain(frozen, target, owner) {
+			continue
+		}
+		if err := g.o.Store.WritePage(toid, pg, p.Data); err != nil {
+			return bytes, err
+		}
+		p.Dirty = false
+		p.Backed = true
+		bytes += mem.PageSize
+	}
+	return bytes, nil
+}
+
+// withinChain reports whether owner lies on the chain frozen..target
+// inclusive.
+func withinChain(frozen, target, owner *vm.Object) bool {
+	for c := frozen; c != nil; c = c.Backer() {
+		if c == owner {
+			return true
+		}
+		if c == target {
+			return false
+		}
+	}
+	return false
+}
+
+// flushColdObjects persists serialized memory objects that no shadow pair
+// covered (read-only or excluded regions seen for the first time).
+func (g *Group) flushColdObjects(ser *serializer) error {
+	for obj, oid := range ser.memOIDs {
+		if g.flushed[oid] {
+			continue
+		}
+		g.o.Store.Ensure(oid, UTMemObject)
+		if _, err := g.flushFullImage(obj, obj, oid); err != nil {
+			return err
+		}
+		g.flushed[oid] = true
+	}
+	return nil
+}
+
+// entryExcluded implements sls_mctl exclusions.
+func (g *Group) entryExcluded(m *vm.Map, e *vm.Entry) bool {
+	for p, set := range g.excluded {
+		if p.Mem == m && set[e.Start] {
+			return true
+		}
+	}
+	return false
+}
+
+// memMeta is the serialized form of one persistent memory object.
+type memMeta struct {
+	oid        objstore.OID
+	size       int64
+	backerKind uint8
+	backerOID  uint64
+}
+
+// serializer walks kernel objects, emitting one store record per object.
+type serializer struct {
+	g     *Group
+	o     *Orchestrator
+	live  map[objstore.OID]bool
+	count int
+
+	// Deduplication: each kernel object serializes exactly once per
+	// checkpoint regardless of how many references reach it.
+	doneFiles map[*kern.File]objstore.OID
+	doneImpls map[any]objstore.OID
+	memOIDs   map[*vm.Object]objstore.OID
+	memMetas  []memMeta
+	procOIDs  []procRef
+	shmOIDs   []objstore.OID
+}
+
+type procRef struct {
+	oid       objstore.OID
+	localPID  kern.PID
+	parentPID kern.PID
+}
+
+func newSerializer(g *Group) *serializer {
+	return &serializer{
+		g:         g,
+		o:         g.o,
+		live:      make(map[objstore.OID]bool),
+		doneFiles: make(map[*kern.File]objstore.OID),
+		doneImpls: make(map[any]objstore.OID),
+		memOIDs:   make(map[*vm.Object]objstore.OID),
+	}
+}
+
+// put stores a sealed record, charging serialization costs.
+func (s *serializer) put(oid objstore.OID, utype uint16, e *rec.Encoder) error {
+	body := e.Seal()
+	s.o.Clk.Advance(s.o.Costs.SerializeBase + time.Duration(len(body)/8)*s.o.Costs.SerializePerWord)
+	s.live[oid] = true
+	s.count++
+	return s.o.Store.PutRecord(oid, utype, body)
+}
+
+// group emits the group record — processes, ephemeral children, shm
+// segments, memory-object metadata, journals — and refreshes the manifest.
+func (s *serializer) group(ephemeral []*kern.Proc) error {
+	e := rec.NewEncoder()
+	e.Str(s.g.Name)
+	e.U64(uint64(s.g.Period))
+
+	e.U32(uint32(len(s.procOIDs)))
+	for _, pr := range s.procOIDs {
+		e.U64(uint64(pr.oid))
+		e.U32(uint32(pr.localPID))
+		e.U32(uint32(pr.parentPID))
+	}
+
+	// Ephemeral children: recorded so restore can deliver SIGCHLD.
+	e.U32(uint32(len(ephemeral)))
+	for _, p := range ephemeral {
+		parent := kern.PID(0)
+		if p.Parent() != nil {
+			parent = p.Parent().LocalPID
+		}
+		e.U32(uint32(p.LocalPID))
+		e.U32(uint32(parent))
+	}
+
+	// Memory-object hierarchy metadata.
+	e.U32(uint32(len(s.memMetas)))
+	for _, m := range s.memMetas {
+		e.U64(uint64(m.oid))
+		e.I64(m.size)
+		e.U8(m.backerKind)
+		e.U64(m.backerOID)
+	}
+
+	// Shared-memory segments.
+	e.U32(uint32(len(s.shmOIDs)))
+	for _, oid := range s.shmOIDs {
+		e.U64(uint64(oid))
+	}
+
+	// Journals created through the Aurora API, by name.
+	e.U32(uint32(len(s.g.journals)))
+	for _, jn := range sortedKeys(s.g.journals) {
+		e.Str(jn)
+		e.U64(uint64(s.g.journals[jn]))
+		s.live[s.g.journals[jn]] = true
+	}
+
+	if err := s.put(s.g.oid, UTGroup, e); err != nil {
+		return err
+	}
+	return s.o.writeManifest()
+}
+
+func sortedKeys(m map[string]objstore.OID) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// writeManifest refreshes the orchestrator's group list, preserving
+// entries for groups that are not live in this kernel (suspended
+// applications, groups received but not yet restored).
+func (o *Orchestrator) writeManifest() error {
+	type entry struct {
+		id   uint64
+		name string
+		oid  objstore.OID
+	}
+	var entries []entry
+	index := make(map[string]int)
+	if raw, err := o.Store.GetRecord(ManifestOID); err == nil && len(raw) > 0 {
+		if d, derr := rec.NewDecoder(raw); derr == nil {
+			for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
+				ent := entry{id: d.U64(), name: d.Str(), oid: objstore.OID(d.U64())}
+				index[ent.name] = len(entries)
+				entries = append(entries, ent)
+			}
+		}
+	}
+	for _, g := range o.Groups() {
+		ent := entry{id: g.ID, name: g.Name, oid: g.oid}
+		if i, ok := index[g.Name]; ok {
+			entries[i] = ent
+		} else {
+			index[g.Name] = len(entries)
+			entries = append(entries, ent)
+		}
+	}
+	e := rec.NewEncoder()
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.U64(ent.id)
+		e.Str(ent.name)
+		e.U64(uint64(ent.oid))
+	}
+	return o.Store.PutRecord(ManifestOID, UTManifest, e.Seal())
+}
+
+// proc serializes one process: identity, tree links, threads with CPU
+// state, pending signals, descriptor table, and address space.
+func (s *serializer) proc(p *kern.Proc) error {
+	e := rec.NewEncoder()
+	e.Str(p.Name)
+	e.U32(uint32(p.LocalPID))
+	e.U32(uint32(p.PGID))
+	e.U32(uint32(p.SID))
+
+	// Threads. Copying the register file off the kernel stack is cheap;
+	// lazily-saved FPU/vector state needs an IPI to flush it into the
+	// process structure (§5.1).
+	e.U32(uint32(len(p.Threads)))
+	for _, t := range p.Threads {
+		s.o.Clk.Advance(s.o.Costs.IPIRound)
+		e.Str(t.Name)
+		e.U32(uint32(t.LocalTID))
+		e.U64(t.SigMask)
+		e.U32(uint32(t.Priority))
+		cpuRecord(e, &t.CPU)
+	}
+
+	// Pending signals.
+	sigs := p.PendingSignals()
+	e.U32(uint32(len(sigs)))
+	for _, sig := range sigs {
+		e.U32(uint32(sig))
+	}
+
+	// Descriptor table.
+	type slot struct {
+		fd  int
+		oid objstore.OID
+	}
+	var slots []slot
+	var ferr error
+	p.FDs.Each(func(fd int, f *kern.File) {
+		if ferr != nil {
+			return
+		}
+		oid, err := s.file(f)
+		if err != nil {
+			ferr = err
+			return
+		}
+		slots = append(slots, slot{fd, oid})
+	})
+	if ferr != nil {
+		return ferr
+	}
+	e.U32(uint32(len(slots)))
+	for _, sl := range slots {
+		e.U32(uint32(sl.fd))
+		e.U64(uint64(sl.oid))
+	}
+
+	// Address space.
+	entries := p.Mem.Entries()
+	var encoded [][]byte
+	for _, ent := range entries {
+		b, err := s.entry(ent, s.g.entryExcluded(p.Mem, ent))
+		if err != nil {
+			return err
+		}
+		if b != nil {
+			encoded = append(encoded, b)
+		}
+	}
+	e.U32(uint32(len(encoded)))
+	for _, b := range encoded {
+		e.Bytes(b)
+	}
+
+	oid := s.g.oidFor(p)
+	parent := kern.PID(0)
+	if p.Parent() != nil && !p.Parent().Ephemeral {
+		parent = p.Parent().LocalPID
+	}
+	s.procOIDs = append(s.procOIDs, procRef{oid: oid, localPID: p.LocalPID, parentPID: parent})
+	return s.put(oid, UTProc, e)
+}
+
+// cpuRecord serializes the register file.
+func cpuRecord(e *rec.Encoder, c *kern.CPUState) {
+	e.U64(c.RIP)
+	e.U64(c.RSP)
+	e.U64(c.RBP)
+	e.U64(c.RFLAGS)
+	for _, r := range c.GPR {
+		e.U64(r)
+	}
+	e.Bytes(c.FPU[:])
+}
+
+func cpuDecode(d *rec.Decoder) kern.CPUState {
+	var c kern.CPUState
+	c.RIP = d.U64()
+	c.RSP = d.U64()
+	c.RBP = d.U64()
+	c.RFLAGS = d.U64()
+	for i := range c.GPR {
+		c.GPR[i] = d.U64()
+	}
+	copy(c.FPU[:], d.Bytes())
+	return c
+}
+
+// entry serializes one vm_map_entry, classifying its backing. Excluded
+// regions (sls_mctl) record their geometry only: the restore maps fresh
+// zero-filled memory there, and no page of the region ever reaches the
+// store.
+func (s *serializer) entry(ent *vm.Entry, excluded bool) ([]byte, error) {
+	e := rec.NewEncoder()
+	e.U64(ent.Start)
+	e.U64(ent.End)
+	e.U8(uint8(ent.Prot))
+	e.I64(ent.Off)
+	e.Bool(ent.Shared)
+
+	switch {
+	case ent.Start == kern.VDSOBase:
+		// The vDSO is not content-checkpointed: restore injects the
+		// current kernel's (§5.3).
+		e.U8(entVDSO)
+	case ent.Obj.Type == vm.Device:
+		name, ok := deviceNameOfObject(ent.Obj)
+		if !ok || !kern.DeviceWhitelisted(name) {
+			return nil, fmt.Errorf("sls: cannot persist mapping of device %q", name)
+		}
+		e.U8(entDevice)
+		e.Str(name)
+	case ent.Obj.Type == vm.Vnode:
+		// Shared file mapping: pages live in the file's own object.
+		e.U8(entVnodeShared)
+		e.U64(ent.Obj.Pager().BackingOID())
+	case excluded:
+		e.U8(entAnon)
+		e.U64(0) // no backing object: restore maps fresh memory
+	default:
+		oid, err := s.memObject(s.g.persistentRoot(ent.Obj))
+		if err != nil {
+			return nil, err
+		}
+		e.U8(entAnon)
+		e.U64(uint64(oid))
+	}
+	return e.Raw(), nil
+}
+
+// deviceNameOfObject recovers the device name behind a device VM object.
+func deviceNameOfObject(o *vm.Object) (string, bool) {
+	type named interface{ DeviceName() string }
+	if p, ok := o.Pager().(named); ok {
+		return p.DeviceName(), true
+	}
+	return "", false
+}
+
+// memObject registers the persistent memory-object hierarchy from root
+// downward, returning root's OID. Metadata lands in the group record;
+// pages flow through the flush path into the OID's own pages.
+func (s *serializer) memObject(root *vm.Object) (objstore.OID, error) {
+	if oid, ok := s.memOIDs[root]; ok {
+		return oid, nil
+	}
+	oid := s.g.oidFor(root)
+	s.memOIDs[root] = oid
+	s.live[oid] = true
+	s.count++
+	s.o.Clk.Advance(s.o.Costs.SerializeBase)
+
+	meta := memMeta{oid: oid, size: root.Size()}
+	backer := root.Backer()
+	for backer != nil && s.g.transient[backer] {
+		backer = backer.Backer()
+	}
+	switch {
+	case backer == nil:
+		meta.backerKind = backNone
+	case backer.Type == vm.Vnode:
+		meta.backerKind = backVnode
+		meta.backerOID = backer.Pager().BackingOID()
+	default:
+		boid, err := s.memObject(backer)
+		if err != nil {
+			return 0, err
+		}
+		meta.backerKind = backAnon
+		meta.backerOID = uint64(boid)
+	}
+	s.memMetas = append(s.memMetas, meta)
+	return oid, nil
+}
+
+// file serializes an open-file description and its implementation object.
+func (s *serializer) file(f *kern.File) (objstore.OID, error) {
+	if oid, ok := s.doneFiles[f]; ok {
+		return oid, nil
+	}
+	implOID, implAux, err := s.impl(f)
+	if err != nil {
+		return 0, err
+	}
+	oid := s.g.oidFor(f)
+	s.doneFiles[f] = oid
+	e := rec.NewEncoder()
+	e.U16(uint16(f.Impl.Kind()))
+	e.I64(f.Offset)
+	e.U32(uint32(f.Flags))
+	e.U64(uint64(implOID))
+	e.U32(implAux)
+	return oid, s.put(oid, UTFileDesc, e)
+}
+
+// impl serializes the object behind a description, returning its OID and
+// an auxiliary word (pipe end, pty side).
+func (s *serializer) impl(f *kern.File) (objstore.OID, uint32, error) {
+	if v, ok := kern.VnodeOf(f); ok {
+		// The vnode IS a store object already (the slsfs file). Keep a
+		// hidden reference so unlinking cannot reap it (§5.2). The
+		// reference is per group lifetime, not per checkpoint.
+		if !s.g.vnodeRef[v.OID] {
+			s.g.vnodeRef[v.OID] = true
+			s.o.K.FS.AddHiddenRef(v.OID)
+		}
+		s.live[v.OID] = true
+		s.o.Clk.Advance(s.o.Costs.SerializeBase) // inode ref, no namei
+		return v.OID, 0, nil
+	}
+	if pipe, writeEnd, ok := kern.PipeInfo(f); ok {
+		oid, err := s.pipe(pipe)
+		aux := uint32(0)
+		if writeEnd {
+			aux = 1
+		}
+		return oid, aux, err
+	}
+	if sock, ok := kern.SocketOf(f); ok {
+		oid, err := s.socket(sock)
+		return oid, 0, err
+	}
+	if seg, ok := kern.ShmOf(f); ok {
+		oid, err := s.shm(seg)
+		return oid, 0, err
+	}
+	if kq, ok := kern.KqueueOf(f); ok {
+		oid, err := s.kqueue(kq)
+		return oid, 0, err
+	}
+	if pty, master, ok := kern.PTYInfo(f); ok {
+		oid, err := s.pty(pty)
+		aux := uint32(0)
+		if master {
+			aux = 1
+		}
+		return oid, aux, err
+	}
+	if name, ok := kern.DeviceNameOf(f); ok {
+		oid := s.g.oidFor(f.Impl)
+		e := rec.NewEncoder()
+		e.Str(name)
+		return oid, 0, s.put(oid, UTDeviceFile, e)
+	}
+	return 0, 0, fmt.Errorf("sls: unsupported file kind %v", f.Impl.Kind())
+}
+
+func (s *serializer) pipe(p *kern.Pipe) (objstore.OID, error) {
+	if oid, ok := s.doneImpls[p]; ok {
+		return oid, nil
+	}
+	oid := s.g.oidFor(p)
+	s.doneImpls[p] = oid
+	readers, writers := p.PipeRefs()
+	e := rec.NewEncoder()
+	e.Bytes(p.Buffered())
+	e.U32(uint32(readers))
+	e.U32(uint32(writers))
+	return oid, s.put(oid, UTPipe, e)
+}
+
+func (s *serializer) socket(sk *kern.Socket) (objstore.OID, error) {
+	if oid, ok := s.doneImpls[sk]; ok {
+		return oid, nil
+	}
+	oid := s.g.oidFor(sk)
+	s.doneImpls[sk] = oid
+	e := rec.NewEncoder()
+	e.U16(uint16(sk.Kind()))
+	e.Str(sk.Local)
+	e.Str(sk.Remote)
+	e.Bool(sk.Bound)
+	e.Bool(sk.Listening()) // accept queue deliberately omitted (§5.3)
+	e.U64(sk.Seq)
+	e.U32(sk.Options)
+	e.Bool(sk.ESDisabled)
+
+	// Peer: recorded only when it lives in the same group.
+	peer := sk.Peer()
+	if peer != nil && peer.OwnerGroup == s.g.ID {
+		poid, err := s.socket(peer)
+		if err != nil {
+			return 0, err
+		}
+		e.U64(uint64(poid))
+	} else {
+		e.U64(0)
+	}
+
+	// Buffered messages, parsing control messages for in-flight
+	// descriptors (§5.3).
+	msgs := sk.Messages()
+	e.U32(uint32(len(msgs)))
+	for _, m := range msgs {
+		e.Bytes(m.Data)
+		e.Str(m.From)
+		e.U32(uint32(len(m.Files)))
+		for _, inflight := range m.Files {
+			foid, err := s.file(inflight)
+			if err != nil {
+				return 0, err
+			}
+			e.U64(uint64(foid))
+		}
+	}
+	return oid, s.put(oid, UTSocket, e)
+}
+
+func (s *serializer) shm(seg *kern.ShmSegment) (objstore.OID, error) {
+	if oid, ok := s.doneImpls[seg]; ok {
+		return oid, nil
+	}
+	oid := s.g.oidFor(seg)
+	s.doneImpls[seg] = oid
+	memOID, err := s.memObject(s.g.persistentRoot(seg.Object()))
+	if err != nil {
+		return 0, err
+	}
+	e := rec.NewEncoder()
+	e.I64(seg.ID)
+	e.I64(seg.Key)
+	e.Str(seg.Name)
+	e.I64(seg.Size)
+	e.Bool(seg.SysV)
+	e.U64(uint64(memOID))
+	s.shmOIDs = append(s.shmOIDs, oid)
+	return oid, s.put(oid, UTShm, e)
+}
+
+func (s *serializer) kqueue(kq *kern.Kqueue) (objstore.OID, error) {
+	if oid, ok := s.doneImpls[kq]; ok {
+		return oid, nil
+	}
+	oid := s.g.oidFor(kq)
+	s.doneImpls[kq] = oid
+	events := kq.Events()
+	e := rec.NewEncoder()
+	e.U32(uint32(len(events)))
+	for _, ev := range events {
+		// Each event structure is locked and copied (Table 4).
+		s.o.Clk.Advance(s.o.Costs.KqueueEvent)
+		e.U64(ev.Ident)
+		e.U16(uint16(ev.Filter))
+		e.U32(ev.Flags)
+		e.U32(ev.FFlags)
+		e.I64(ev.Data)
+		e.U64(ev.UData)
+	}
+	return oid, s.put(oid, UTKqueue, e)
+}
+
+func (s *serializer) pty(pty *kern.PTY) (objstore.OID, error) {
+	if oid, ok := s.doneImpls[pty]; ok {
+		return oid, nil
+	}
+	oid := s.g.oidFor(pty)
+	s.doneImpls[pty] = oid
+	toSlave, toMaster := pty.Buffers()
+	e := rec.NewEncoder()
+	e.U32(uint32(pty.Index))
+	e.Bytes(toSlave)
+	e.Bytes(toMaster)
+	e.Bytes(pty.Termios[:])
+	return oid, s.put(oid, UTPTY, e)
+}

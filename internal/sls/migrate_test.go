@@ -1,0 +1,123 @@
+package sls
+
+import (
+	"testing"
+
+	"aurora/internal/vm"
+)
+
+func TestPreCopyLiveMigration(t *testing.T) {
+	src := newWorld(t)
+	p := src.k.NewProc("server")
+	g := src.o.CreateGroup("server")
+	g.Attach(p)
+	va, _ := p.Mmap(8<<20, vm.ProtRead|vm.ProtWrite, false)
+	// A sizable base image.
+	for i := 0; i < 1024; i++ {
+		p.WriteMem(va+uint64(i)*vm.PageSize, []byte{byte(i)})
+	}
+
+	dst := newWorld(t)
+	round := 0
+	restored, st, err := g.Migrate(dst.o, 2, func() error {
+		// The app keeps running between rounds, dirtying a few pages.
+		round++
+		for i := 0; i < 4; i++ {
+			if err := p.WriteMem(va+uint64(i)*vm.PageSize, []byte{byte(100 + round)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 4 { // full + 2 pre-copy + final
+		t.Fatalf("rounds = %d, want 4", st.Rounds)
+	}
+	// Pre-copy property: delta rounds are far smaller than the full round.
+	if !(st.RoundBytes[1] < st.RoundBytes[0]/10) {
+		t.Fatalf("delta round %d bytes not << full round %d", st.RoundBytes[1], st.RoundBytes[0])
+	}
+	// The final (stop-and-copy) round is small: little residual dirt.
+	last := st.RoundBytes[len(st.RoundBytes)-1]
+	if !(last < st.RoundBytes[0]/10) {
+		t.Fatalf("final round %d bytes not << full round %d", last, st.RoundBytes[0])
+	}
+	if st.FinalStop <= 0 {
+		t.Fatal("no final stop time")
+	}
+
+	// The application runs on dst with the LAST round's state.
+	rp := restored.Procs()[0]
+	b := make([]byte, 1)
+	rp.ReadMem(va, b)
+	if b[0] != byte(100+round) {
+		t.Fatalf("migrated page 0 = %d, want %d", b[0], 100+round)
+	}
+	rp.ReadMem(va+900*vm.PageSize, b)
+	if b[0] != byte(900%256) {
+		t.Fatalf("migrated page 900 = %d", b[0])
+	}
+	// The source is gone.
+	if len(g.o.K.Procs(g.ID)) != 0 {
+		for _, sp := range g.o.K.Procs(g.ID) {
+			if !sp.Exited() {
+				t.Fatal("source process still running after migration")
+			}
+		}
+	}
+	if _, ok := src.o.GroupByName("server"); ok {
+		t.Fatal("source orchestrator still lists the migrated group")
+	}
+}
+
+func TestSuspendResume(t *testing.T) {
+	w := newWorld(t)
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	g.Attach(p)
+	va, _ := p.Mmap(1<<20, vm.ProtRead|vm.ProtWrite, false)
+	p.WriteMem(va, []byte("suspended"))
+
+	if err := g.Suspend(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exited() {
+		t.Fatal("process still running after suspend")
+	}
+	if _, ok := w.o.GroupByName("app"); ok {
+		t.Fatal("suspended group still live")
+	}
+
+	// Resume in the same machine session.
+	g2, _, err := w.o.RestoreGroup("app", w.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 9)
+	g2.Procs()[0].ReadMem(va, got)
+	if string(got) != "suspended" {
+		t.Fatalf("after resume: %q", got)
+	}
+
+	// Suspension also survives a crash: another group checkpointing must
+	// not drop the suspended app from the manifest.
+	other := w.k.NewProc("other")
+	og := w.o.CreateGroup("other")
+	og.Attach(other)
+	og.Checkpoint(CkptIncremental)
+	names, err := ManifestGroups(w.store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		if n == "app" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("suspended group missing from manifest: %v", names)
+	}
+}

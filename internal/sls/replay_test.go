@@ -1,0 +1,130 @@
+package sls
+
+import (
+	"fmt"
+	"testing"
+
+	"aurora/internal/kern"
+)
+
+func TestRecordReplayAcrossCrash(t *testing.T) {
+	// A UDP server receives requests; a checkpoint covers the first
+	// batch; a second batch arrives after the checkpoint and is lost to
+	// the crash — EXCEPT that recording logged it, so replay brings the
+	// lost window back.
+	w := newWorld(t)
+	srv := w.k.NewProc("server")
+	cli := w.k.NewProc("client") // outside the group
+	g := w.o.CreateGroup("server")
+	g.Attach(srv)
+	if _, err := g.EnableRecording(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+
+	sfd, _ := srv.Socket(kern.KindSocketUDP)
+	if err := srv.Bind(sfd, "10.0.0.1:53"); err != nil {
+		t.Fatal(err)
+	}
+	cfd, _ := cli.Socket(kern.KindSocketUDP)
+	cli.Bind(cfd, "10.0.0.2:5000")
+
+	send := func(msg string) {
+		if _, err := cli.SendTo(cfd, "10.0.0.1:53", []byte(msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Batch 1: covered by the checkpoint (buffered in the socket).
+	send("req-1")
+	send("req-2")
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2: after the checkpoint — volatile, but recorded.
+	send("req-3")
+	send("req-4")
+
+	// Crash; restore; replay the lost window.
+	w2 := w.crash(t)
+	g2, _, err := w2.o.RestoreGroup("server", w2.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := g2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 {
+		t.Fatalf("replayed %d inputs, want 2", replayed)
+	}
+	rsrv := g2.Procs()[0]
+	var got []string
+	buf := make([]byte, 16)
+	for i := 0; i < 4; i++ {
+		n, err := rsrv.Read(sfd, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, string(buf[:n]))
+	}
+	want := []string{"req-1", "req-2", "req-3", "req-4"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request stream after replay = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCheckpointBoundsTheLog(t *testing.T) {
+	// The headline property: the replay log never grows past one
+	// checkpoint interval of input.
+	w := newWorld(t)
+	srv := w.k.NewProc("server")
+	cli := w.k.NewProc("client")
+	g := w.o.CreateGroup("server")
+	g.Attach(srv)
+	r, err := g.EnableRecording(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfd, _ := srv.Socket(kern.KindSocketUDP)
+	srv.Bind(sfd, "10.0.0.1:53")
+	cfd, _ := cli.Socket(kern.KindSocketUDP)
+	cli.Bind(cfd, "10.0.0.2:5000")
+
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 20; i++ {
+			cli.SendTo(cfd, "10.0.0.1:53", []byte(fmt.Sprintf("r%d-%d", round, i)))
+			// The server consumes its input.
+			srv.Read(sfd, make([]byte, 16))
+		}
+		if _, err := g.Checkpoint(CkptIncremental); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Barrier(); err != nil {
+			t.Fatal(err)
+		}
+		// After every checkpoint the log restarts near empty.
+		if used := r.j.Used(); used > 0 {
+			t.Fatalf("round %d: log not truncated by checkpoint (%d bytes)", round, used)
+		}
+	}
+}
+
+func TestReplayWithoutRecordingFails(t *testing.T) {
+	w := newWorld(t)
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	g.Attach(p)
+	g.Checkpoint(CkptIncremental)
+	w2 := w.crash(t)
+	g2, _, err := w2.o.RestoreGroup("app", w2.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.Replay(); err == nil {
+		t.Fatal("replay without recording succeeded")
+	}
+}

@@ -1,0 +1,94 @@
+package sls
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"aurora/internal/objstore"
+)
+
+// High availability (§3): "sls send" can continually feed incremental
+// checkpoints to a remote host. A Replica wraps that loop: after a full
+// seed transfer, each Sync ships only the delta since the last shipped
+// epoch; Failover restores the application on the standby from the last
+// synced state.
+
+// Replica is a warm standby of a group on another orchestrator.
+type Replica struct {
+	g    *Group
+	dst  *Orchestrator
+	base objstore.Epoch // last epoch the standby holds
+
+	Syncs      int
+	BytesTotal int64
+	LastBytes  int64
+	LastLag    time.Duration // checkpoint cut to standby-durable
+}
+
+// ReplicateTo seeds a standby with the group's full state and returns the
+// replication handle. The group must be checkpointing (the seed takes a
+// checkpoint if none exists).
+func (g *Group) ReplicateTo(dst *Orchestrator) (*Replica, error) {
+	if g.lastEpoch == 0 {
+		if _, err := g.Checkpoint(CkptIncremental); err != nil {
+			return nil, err
+		}
+		if err := g.Barrier(); err != nil {
+			return nil, err
+		}
+	}
+	r := &Replica{g: g, dst: dst}
+	n, err := r.ship(0)
+	if err != nil {
+		return nil, err
+	}
+	r.base = g.lastEpoch
+	r.Syncs = 1
+	r.BytesTotal = n
+	r.LastBytes = n
+	return r, nil
+}
+
+// Sync takes a checkpoint and ships the delta to the standby.
+func (r *Replica) Sync() error {
+	cutStart := r.g.o.Clk.Now()
+	if _, err := r.g.Checkpoint(CkptIncremental); err != nil {
+		return err
+	}
+	if err := r.g.Barrier(); err != nil {
+		return err
+	}
+	n, err := r.ship(r.base)
+	if err != nil {
+		return err
+	}
+	r.base = r.g.lastEpoch
+	r.Syncs++
+	r.BytesTotal += n
+	r.LastBytes = n
+	r.LastLag = r.g.o.Clk.Now() - cutStart
+	return nil
+}
+
+// ship streams (full when since==0, else delta) to the standby store.
+func (r *Replica) ship(since objstore.Epoch) (int64, error) {
+	var buf bytes.Buffer
+	cw := &countWriter{w: &buf}
+	if err := r.g.send(cw, since); err != nil {
+		return 0, err
+	}
+	if _, err := r.dst.Recv(&buf); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// Failover restores the application on the standby from the last synced
+// state — the primary is presumed dead (its state is not touched).
+func (r *Replica) Failover(mode RestoreMode) (*Group, RestoreStats, error) {
+	if r.Syncs == 0 {
+		return nil, RestoreStats{}, fmt.Errorf("sls: replica never seeded")
+	}
+	return r.dst.RestoreGroup(r.g.Name, r.dst.Store, mode, true)
+}

@@ -1,0 +1,97 @@
+package sls
+
+import (
+	"testing"
+
+	"aurora/internal/vm"
+)
+
+func TestReplicationAndFailover(t *testing.T) {
+	primary := newWorld(t)
+	standby := newWorld(t)
+	p := primary.k.NewProc("db")
+	g := primary.o.CreateGroup("db")
+	g.Attach(p)
+	va, _ := p.Mmap(4<<20, vm.ProtRead|vm.ProtWrite, false)
+	for i := 0; i < 512; i++ {
+		p.WriteMem(va+uint64(i)*vm.PageSize, []byte{byte(i)})
+	}
+
+	rep, err := g.ReplicateTo(standby.o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := rep.LastBytes
+
+	// The primary keeps running; each sync ships a small delta.
+	for round := byte(1); round <= 3; round++ {
+		p.WriteMem(va, []byte{100 + round})
+		p.WriteMem(va+7*vm.PageSize, []byte{200 + round})
+		if err := rep.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if rep.LastBytes >= seed/10 {
+			t.Fatalf("sync %d shipped %d bytes; not incremental vs seed %d", round, rep.LastBytes, seed)
+		}
+		if rep.LastLag <= 0 {
+			t.Fatal("no lag recorded")
+		}
+	}
+	if rep.Syncs != 4 {
+		t.Fatalf("syncs = %d", rep.Syncs)
+	}
+
+	// Primary dies; the standby takes over with the last synced state.
+	fg, _, err := rep.Failover(RestoreFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := fg.Procs()[0]
+	b := make([]byte, 1)
+	fp.ReadMem(va, b)
+	if b[0] != 103 {
+		t.Fatalf("failover page 0 = %d, want 103", b[0])
+	}
+	fp.ReadMem(va+7*vm.PageSize, b)
+	if b[0] != 203 {
+		t.Fatalf("failover page 7 = %d, want 203", b[0])
+	}
+	fp.ReadMem(va+300*vm.PageSize, b)
+	if b[0] != byte(300%256) {
+		t.Fatalf("failover page 300 = %d", b[0])
+	}
+	// The standby instance is live: it can keep checkpointing locally.
+	if _, err := fg.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFailoverLosesAtMostOneSyncWindow(t *testing.T) {
+	primary := newWorld(t)
+	standby := newWorld(t)
+	p := primary.k.NewProc("db")
+	g := primary.o.CreateGroup("db")
+	g.Attach(p)
+	va, _ := p.Mmap(1<<20, vm.ProtRead|vm.ProtWrite, false)
+	p.WriteMem(va, []byte{1})
+	rep, err := g.ReplicateTo(standby.o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteMem(va, []byte{2})
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-sync write: inside the failure window, lost on failover.
+	p.WriteMem(va, []byte{3})
+
+	fg, _, err := rep.Failover(RestoreLazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]byte, 1)
+	fg.Procs()[0].ReadMem(va, b)
+	if b[0] != 2 {
+		t.Fatalf("failover state = %d, want 2 (last synced)", b[0])
+	}
+}

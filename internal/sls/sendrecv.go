@@ -1,0 +1,455 @@
+package sls
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"aurora/internal/objstore"
+	"aurora/internal/rec"
+)
+
+// sls send / sls recv (§3): serialize a group's last committed checkpoint
+// onto a byte stream and inject it into another machine's store, enabling
+// migration and failover. The stream carries every object of the group —
+// POSIX records, memory pages, journals — under its original OIDs; the
+// receiver merges the group into its manifest and commits, after which a
+// normal restore resumes the application on the new machine.
+
+// Stream item kinds.
+const (
+	itemRecord uint8 = iota + 1
+	itemPages
+	itemJournal
+	itemEnd
+)
+
+// streamMagic heads a checkpoint stream.
+const streamMagic = 0x41555253 // "AURS"
+
+// Send writes the group's last committed state to w. The group must have
+// checkpointed at least once. Network transfer time is charged per byte.
+func (g *Group) Send(w io.Writer) error { return g.send(w, 0) }
+
+// SendDelta writes only the state that changed since the retained epoch
+// `since` — one round of pre-copy live migration. Records are small and
+// always resent; memory pages resend only where the stored block moved.
+// The receiver must already hold the group from a previous Send.
+func (g *Group) SendDelta(w io.Writer, since objstore.Epoch) error {
+	if since == 0 {
+		return fmt.Errorf("sls: SendDelta needs a base epoch")
+	}
+	return g.send(w, since)
+}
+
+func (g *Group) send(w io.Writer, since objstore.Epoch) error {
+	if g.lastEpoch == 0 {
+		return fmt.Errorf("sls: group %q has no committed checkpoint to send", g.Name)
+	}
+	bw := bufio.NewWriter(w)
+	sent := int64(0)
+	emit := func(b []byte) error {
+		var hdr [4]byte
+		hdr[0] = byte(len(b))
+		hdr[1] = byte(len(b) >> 8)
+		hdr[2] = byte(len(b) >> 16)
+		hdr[3] = byte(len(b) >> 24)
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		sent += int64(len(b)) + 4
+		return err
+	}
+
+	head := rec.NewEncoder()
+	head.U32(streamMagic)
+	head.Str(g.Name)
+	head.U64(uint64(g.oid))
+	head.Bool(since != 0) // delta stream
+	if err := emit(head.Seal()); err != nil {
+		return err
+	}
+
+	// Group record itself plus every object it referenced last epoch.
+	oids := make([]objstore.OID, 0, len(g.prevLive)+1)
+	oids = append(oids, g.oid)
+	for oid := range g.prevLive {
+		if oid != g.oid {
+			oids = append(oids, oid)
+		}
+	}
+	for _, oid := range oids {
+		if !g.o.Store.Exists(oid) {
+			continue
+		}
+		ut, err := g.o.Store.UType(oid)
+		if err != nil {
+			return err
+		}
+		if isJournalOID(g, oid) {
+			if err := g.sendJournal(oid, ut, emit); err != nil {
+				return err
+			}
+			continue
+		}
+		if ut == UTMemObject {
+			if err := g.sendPages(oid, since, emit); err != nil {
+				return err
+			}
+			continue
+		}
+		raw, err := g.o.Store.GetRecord(oid)
+		if err != nil {
+			return err
+		}
+		e := rec.NewEncoder()
+		e.U8(itemRecord)
+		e.U64(uint64(oid))
+		e.U16(ut)
+		e.Bytes(raw)
+		if err := emit(e.Seal()); err != nil {
+			return err
+		}
+	}
+	e := rec.NewEncoder()
+	e.U8(itemEnd)
+	if err := emit(e.Seal()); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Wire time for the whole image.
+	g.o.Clk.Advance(g.o.Costs.NetRTT + time.Duration(sent)*g.o.Costs.NetPerByte)
+	return nil
+}
+
+func isJournalOID(g *Group, oid objstore.OID) bool {
+	for _, joid := range g.journals {
+		if joid == oid {
+			return true
+		}
+	}
+	return false
+}
+
+// sendPages streams a memory object's pages — all of them for a full send,
+// only the changed set for a delta.
+func (g *Group) sendPages(oid objstore.OID, since objstore.Epoch, emit func([]byte) error) error {
+	size, err := g.o.Store.Size(oid)
+	if err != nil {
+		return err
+	}
+	head := rec.NewEncoder()
+	head.U8(itemPages)
+	head.U64(uint64(oid))
+	head.I64(size)
+	if err := emit(head.Seal()); err != nil {
+		return err
+	}
+	emitPage := func(pg int64, data []byte) error {
+		e := rec.NewEncoder()
+		e.U8(itemPages)
+		e.U64(uint64(oid))
+		e.I64(pg)
+		e.Bytes(data)
+		return emit(e.Seal())
+	}
+	if since == 0 {
+		if _, err := g.o.Store.EachPageBulk(oid, emitPage); err != nil {
+			return err
+		}
+	} else {
+		changed, err := g.o.Store.DiffPages(oid, since)
+		if err != nil {
+			// The object may be new since the base epoch: send in full.
+			if _, err := g.o.Store.EachPageBulk(oid, emitPage); err != nil {
+				return err
+			}
+		} else {
+			buf := make([]byte, objstore.BlockSize)
+			for _, pg := range changed {
+				if _, err := g.o.Store.ReadPage(oid, pg, buf); err != nil {
+					return err
+				}
+				if err := emitPage(pg, buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Page runs end with a sentinel page index of -1.
+	tail := rec.NewEncoder()
+	tail.U8(itemPages)
+	tail.U64(uint64(oid))
+	tail.I64(-1)
+	tail.Bytes(nil)
+	return emit(tail.Seal())
+}
+
+// sendJournal streams a journal's capacity and committed entries.
+func (g *Group) sendJournal(oid objstore.OID, ut uint16, emit func([]byte) error) error {
+	j, err := g.o.Store.OpenJournal(oid)
+	if err != nil {
+		return err
+	}
+	entries, err := j.Entries()
+	if err != nil {
+		return err
+	}
+	e := rec.NewEncoder()
+	e.U8(itemJournal)
+	e.U64(uint64(oid))
+	e.U16(ut)
+	e.I64(j.Capacity())
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.Bytes(ent.Payload)
+	}
+	return emit(e.Seal())
+}
+
+// Recv reads a checkpoint stream into the local store and registers the
+// group in the manifest, committing when done. It returns the group name;
+// RestoreGroup then resumes the application.
+func (o *Orchestrator) Recv(r io.Reader) (string, error) {
+	br := bufio.NewReader(r)
+	next := func() (*rec.Decoder, error) {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return nil, err
+		}
+		return rec.NewDecoder(body)
+	}
+
+	head, err := next()
+	if err != nil {
+		return "", err
+	}
+	if head.U32() != streamMagic {
+		return "", fmt.Errorf("sls: not a checkpoint stream")
+	}
+	name := head.Str()
+	groupOID := objstore.OID(head.U64())
+	delta := head.Bool()
+	if err := head.Err(); err != nil {
+		return "", err
+	}
+
+	// Pending page run state.
+	var curPages objstore.OID
+	for {
+		d, err := next()
+		if err != nil {
+			return "", err
+		}
+		switch kind := d.U8(); kind {
+		case itemEnd:
+			if !delta {
+				if err := o.mergeManifest(name, groupOID); err != nil {
+					return "", err
+				}
+			}
+			if _, err := o.Store.Checkpoint(); err != nil {
+				return "", err
+			}
+			return name, nil
+		case itemRecord:
+			oid := objstore.OID(d.U64())
+			ut := d.U16()
+			raw := d.Bytes()
+			if err := d.Err(); err != nil {
+				return "", err
+			}
+			if err := o.Store.PutRecord(oid, ut, raw); err != nil {
+				return "", err
+			}
+		case itemPages:
+			oid := objstore.OID(d.U64())
+			arg := d.I64()
+			if curPages != oid {
+				// Run header: arg is the object size.
+				o.Store.Ensure(oid, UTMemObject)
+				curPages = oid
+				continue
+			}
+			if arg < 0 {
+				curPages = 0 // run sentinel
+				continue
+			}
+			data := d.Bytes()
+			if err := d.Err(); err != nil {
+				return "", err
+			}
+			if err := o.Store.WritePage(oid, arg, data); err != nil {
+				return "", err
+			}
+		case itemJournal:
+			oid := objstore.OID(d.U64())
+			ut := d.U16()
+			capacity := d.I64()
+			n := int(d.U32())
+			if o.Store.Exists(oid) {
+				// Delta rounds replace the journal wholesale.
+				if err := o.Store.Delete(oid); err != nil {
+					return "", err
+				}
+			}
+			j, err := o.Store.CreateJournal(oid, ut, capacity)
+			if err != nil {
+				return "", err
+			}
+			for i := 0; i < n; i++ {
+				if _, err := j.Append(d.Bytes()); err != nil {
+					return "", err
+				}
+			}
+			if err := d.Err(); err != nil {
+				return "", err
+			}
+		default:
+			return "", fmt.Errorf("sls: unknown stream item %d", kind)
+		}
+	}
+}
+
+// MigrateStats reports a pre-copy live migration.
+type MigrateStats struct {
+	Rounds     int
+	RoundBytes []int64       // stream size per round (full, then deltas)
+	FinalStop  time.Duration // source stop during the final round
+}
+
+// countWriter counts bytes into an io.Writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Migrate performs iterative pre-copy live migration (§10): a full
+// checkpoint streams to dst, then `rounds` delta rounds resend only what
+// changed while the application kept running (work is called between
+// rounds to model that execution), then a final short stop-and-copy round
+// after which the destination restores and the source terminates. The
+// returned group is the application running on dst.
+func (g *Group) Migrate(dst *Orchestrator, rounds int, work func() error) (*Group, MigrateStats, error) {
+	var st MigrateStats
+	stream := func(since objstore.Epoch) (int64, error) {
+		var buf bytes.Buffer
+		cw := &countWriter{w: &buf}
+		if err := g.send(cw, since); err != nil {
+			return 0, err
+		}
+		if _, err := dst.Recv(&buf); err != nil {
+			return 0, err
+		}
+		return cw.n, nil
+	}
+
+	// Round 0: full image.
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		return nil, st, err
+	}
+	if err := g.Barrier(); err != nil {
+		return nil, st, err
+	}
+	base := g.lastEpoch
+	n, err := stream(0)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RoundBytes = append(st.RoundBytes, n)
+	st.Rounds++
+
+	// Pre-copy rounds: the application runs between them.
+	for i := 0; i < rounds; i++ {
+		if work != nil {
+			if err := work(); err != nil {
+				return nil, st, err
+			}
+		}
+		if _, err := g.Checkpoint(CkptIncremental); err != nil {
+			return nil, st, err
+		}
+		if err := g.Barrier(); err != nil {
+			return nil, st, err
+		}
+		n, err := stream(base)
+		if err != nil {
+			return nil, st, err
+		}
+		base = g.lastEpoch
+		st.RoundBytes = append(st.RoundBytes, n)
+		st.Rounds++
+	}
+
+	// Final round: one last checkpoint (the application's last stop on
+	// the source), the residual delta, and the switchover.
+	cst, err := g.Checkpoint(CkptIncremental)
+	if err != nil {
+		return nil, st, err
+	}
+	if err := g.Barrier(); err != nil {
+		return nil, st, err
+	}
+	st.FinalStop = cst.StopTime
+	n, err = stream(base)
+	if err != nil {
+		return nil, st, err
+	}
+	st.RoundBytes = append(st.RoundBytes, n)
+	st.Rounds++
+
+	for _, p := range g.Procs() {
+		p.Exit(0)
+	}
+	g.o.Forget(g)
+
+	restored, _, err := dst.RestoreGroup(g.Name, dst.Store, RestoreLazy, true)
+	return restored, st, err
+}
+
+// mergeManifest registers a received group alongside any local ones.
+func (o *Orchestrator) mergeManifest(name string, groupOID objstore.OID) error {
+	type entry struct {
+		id   uint64
+		name string
+		oid  objstore.OID
+	}
+	var entries []entry
+	if raw, err := o.Store.GetRecord(ManifestOID); err == nil && len(raw) > 0 {
+		if d, err := rec.NewDecoder(raw); err == nil {
+			for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
+				entries = append(entries, entry{id: d.U64(), name: d.Str(), oid: objstore.OID(d.U64())})
+			}
+		}
+	}
+	for _, ent := range entries {
+		if ent.name == name {
+			return fmt.Errorf("sls: group %q already exists on this machine", name)
+		}
+	}
+	entries = append(entries, entry{id: uint64(len(entries) + 1), name: name, oid: groupOID})
+	e := rec.NewEncoder()
+	e.U32(uint32(len(entries)))
+	for _, ent := range entries {
+		e.U64(ent.id)
+		e.Str(ent.name)
+		e.U64(uint64(ent.oid))
+	}
+	return o.Store.PutRecord(ManifestOID, UTManifest, e.Seal())
+}

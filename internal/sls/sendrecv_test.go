@@ -1,0 +1,126 @@
+package sls
+
+import (
+	"bytes"
+	"testing"
+
+	"aurora/internal/kern"
+	"aurora/internal/vm"
+)
+
+func TestSendRecvMigration(t *testing.T) {
+	// Full migration: checkpoint on machine A, stream to machine B,
+	// restore there, and find the application state intact.
+	src := newWorld(t)
+	p := src.k.NewProc("app")
+	g := src.o.CreateGroup("app")
+	if err := g.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := p.Mmap(1<<20, vm.ProtRead|vm.ProtWrite, false)
+	p.WriteMem(va, []byte("migrated state"))
+	fd, _ := p.Open("/config", kern.ORead|kern.OWrite, true)
+	p.Write(fd, []byte("file travels too"))
+	rfd, wfd, _ := p.Pipe()
+	p.Write(wfd, []byte("piped"))
+	_ = rfd
+	j, err := g.Journal("wal", 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append([]byte("journal record"))
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+	// Journal appends after the checkpoint are synced and must travel.
+	j.Append([]byte("late record"))
+
+	var stream bytes.Buffer
+	if err := g.Send(&stream); err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() < 1<<10 {
+		t.Fatalf("stream suspiciously small: %d bytes", stream.Len())
+	}
+
+	dst := newWorld(t) // an unrelated machine
+	name, err := dst.o.Recv(bytes.NewReader(stream.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "app" {
+		t.Fatalf("received group %q", name)
+	}
+	g2, rst, err := dst.o.RestoreGroup("app", dst.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rst.Procs != 1 {
+		t.Fatalf("restored %d procs", rst.Procs)
+	}
+	rp := g2.Procs()[0]
+	got := make([]byte, 14)
+	rp.ReadMem(va, got)
+	if string(got) != "migrated state" {
+		t.Fatalf("memory = %q", got)
+	}
+	rp.Lseek(fd, 0)
+	fbuf := make([]byte, 16)
+	if _, err := rp.Read(fd, fbuf); err != nil {
+		t.Fatal(err)
+	}
+	if string(fbuf) != "file travels too" {
+		t.Fatalf("file = %q", fbuf)
+	}
+	pbuf := make([]byte, 8)
+	n, _ := rp.Read(rfd, pbuf)
+	if string(pbuf[:n]) != "piped" {
+		t.Fatalf("pipe = %q", pbuf[:n])
+	}
+	j2, err := g2.OpenJournal("wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ents, err := j2.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 || string(ents[1].Payload) != "late record" {
+		t.Fatalf("journal entries = %v", ents)
+	}
+}
+
+func TestSendWithoutCheckpointFails(t *testing.T) {
+	w := newWorld(t)
+	g := w.o.CreateGroup("empty")
+	var buf bytes.Buffer
+	if err := g.Send(&buf); err == nil {
+		t.Fatal("send of never-checkpointed group succeeded")
+	}
+}
+
+func TestRecvDuplicateGroupFails(t *testing.T) {
+	src := newWorld(t)
+	p := src.k.NewProc("app")
+	g := src.o.CreateGroup("app")
+	g.Attach(p)
+	g.Checkpoint(CkptIncremental)
+	var stream bytes.Buffer
+	if err := g.Send(&stream); err != nil {
+		t.Fatal(err)
+	}
+	dst := newWorld(t)
+	if _, err := dst.o.Recv(bytes.NewReader(stream.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.o.Recv(bytes.NewReader(stream.Bytes())); err == nil {
+		t.Fatal("duplicate recv succeeded")
+	}
+}
+
+func TestRecvGarbageFails(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.o.Recv(bytes.NewReader([]byte("not a stream at all........"))); err == nil {
+		t.Fatal("garbage stream accepted")
+	}
+}

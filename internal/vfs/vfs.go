@@ -1,0 +1,59 @@
+// Package vfs defines the file-system interface shared by the Aurora file
+// system (internal/slsfs) and the baseline file systems (internal/fsbase),
+// so workloads like FileBench run unchanged across all of them — the shape
+// of Figure 3 in the paper.
+//
+// The namespace is flat: a path is an opaque key (conventionally
+// slash-separated). Directories are implicit; the FileBench personalities
+// only need create/open/remove/read/write/fsync/sync.
+package vfs
+
+import "errors"
+
+// Errors shared by implementations.
+var (
+	ErrNotExist = errors.New("vfs: file does not exist")
+	ErrExist    = errors.New("vfs: file already exists")
+)
+
+// FileSystem is the mountable surface.
+type FileSystem interface {
+	// Name identifies the implementation ("aurora", "ffs", "zfs", ...).
+	Name() string
+	// Create makes a new file, failing if the path exists.
+	Create(path string) (File, error)
+	// Open opens an existing file.
+	Open(path string) (File, error)
+	// Remove unlinks a path. Open handles keep the data reachable
+	// (anonymous files); the data is reclaimed when the last handle
+	// closes — except under Aurora, where checkpointed references also
+	// count (the hidden link count of §5.2).
+	Remove(path string) error
+	// Rename moves a file to a new path, replacing any existing file.
+	Rename(old, new string) error
+	// Exists reports whether a path is linked.
+	Exists(path string) bool
+	// List returns all linked paths with the given prefix.
+	List(prefix string) []string
+	// Sync makes all completed operations durable.
+	Sync() error
+}
+
+// File is an open file handle.
+type File interface {
+	// ReadAt reads into p at off; short reads at EOF return the count
+	// with no error.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes p at off, extending the file as needed.
+	WriteAt(p []byte, off int64) (int, error)
+	// Append writes p at the current end of file.
+	Append(p []byte) (int, error)
+	// Size returns the file length in bytes.
+	Size() int64
+	// Truncate sets the file length.
+	Truncate(size int64) error
+	// Fsync makes this file's completed writes durable.
+	Fsync() error
+	// Close releases the handle.
+	Close() error
+}

@@ -1,0 +1,85 @@
+package workload
+
+import "testing"
+
+func TestETCShape(t *testing.T) {
+	g := NewETC(1, 100000)
+	if g.Name() != "facebook-etc" {
+		t.Fatal("name")
+	}
+	var gets, sets int
+	counts := map[string]int{}
+	for i := 0; i < 100000; i++ {
+		op := g.Next()
+		switch op.Kind {
+		case OpGet:
+			gets++
+		case OpSet:
+			sets++
+			if len(op.Value) == 0 {
+				t.Fatal("empty set value")
+			}
+		}
+		counts[op.Key]++
+	}
+	ratio := float64(gets) / float64(sets)
+	if ratio < 15 || ratio > 60 {
+		t.Fatalf("get:set ratio = %.1f, want ~30", ratio)
+	}
+	// Zipfian: the hottest key should dominate.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("hottest key hit %d times of 100k; not skewed", max)
+	}
+}
+
+func TestETCDeterministic(t *testing.T) {
+	a, b := NewETC(7, 1000), NewETC(7, 1000)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Key != y.Key || x.Kind != y.Kind || len(x.Value) != len(y.Value) {
+			t.Fatalf("op %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestPrefixDist(t *testing.T) {
+	g := NewPrefixDist(3, 64, 10000)
+	var gets, sets int
+	for i := 0; i < 50000; i++ {
+		op := g.Next()
+		if op.Kind == OpGet {
+			gets++
+		} else {
+			sets++
+		}
+	}
+	ratio := float64(gets) / float64(sets)
+	if ratio < 2 || ratio > 5 {
+		t.Fatalf("get:put ratio = %.1f, want ~3", ratio)
+	}
+}
+
+func TestUniformAndFill(t *testing.T) {
+	g := NewUniform(1, 100, 0.5, 64)
+	op := g.Next()
+	if op.Key == "" {
+		t.Fatal("empty key")
+	}
+	fill := Fill(10, "warm", 32)
+	if len(fill) != 10 || fill[0].Kind != OpSet || len(fill[0].Value) != 32 {
+		t.Fatalf("fill = %v", fill[0])
+	}
+	seen := map[string]bool{}
+	for _, f := range fill {
+		seen[f.Key] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("fill keys not unique")
+	}
+}

@@ -1,0 +1,128 @@
+package aurora
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFacadeSuspendResume(t *testing.T) {
+	m, _ := NewMachine(Defaults())
+	p := m.Spawn("app")
+	m.Attach("app", p)
+	va, _ := p.Mmap(1<<20, ProtRead|ProtWrite, false)
+	p.WriteMem(va, []byte("idle"))
+	if err := m.Suspend("app"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Exited() {
+		t.Fatal("process alive after suspend")
+	}
+	g, _, err := m.Restore("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	g.Procs()[0].ReadMem(va, got)
+	if string(got) != "idle" {
+		t.Fatalf("resumed state %q", got)
+	}
+	if err := m.Suspend("nope"); err == nil {
+		t.Fatal("suspend of unknown group succeeded")
+	}
+}
+
+func TestFacadeMigrateTo(t *testing.T) {
+	a, _ := NewMachine(Defaults())
+	b, _ := NewMachine(Defaults())
+	p := a.Spawn("svc")
+	a.Attach("svc", p)
+	va, _ := p.Mmap(1<<20, ProtRead|ProtWrite, false)
+	p.WriteMem(va, []byte("v0"))
+
+	rounds := 0
+	g, st, err := a.MigrateTo(b, "svc", 2, func() error {
+		rounds++
+		return p.WriteMem(va, []byte{'v', byte('0' + rounds)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 4 || len(st.RoundBytes) != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+	got := make([]byte, 2)
+	g.Procs()[0].ReadMem(va, got)
+	if string(got) != "v2" {
+		t.Fatalf("migrated state %q, want v2", got)
+	}
+	// Destination can keep checkpointing it.
+	if _, err := b.Checkpoint("svc"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeReplicateTo(t *testing.T) {
+	a, _ := NewMachine(Defaults())
+	b, _ := NewMachine(Defaults())
+	p := a.Spawn("db")
+	a.Attach("db", p)
+	va, _ := p.Mmap(1<<20, ProtRead|ProtWrite, false)
+	p.WriteMem(va, []byte("r0"))
+	rep, err := a.ReplicateTo(b, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteMem(va, []byte("r1"))
+	if err := rep.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := rep.Failover(RestoreEager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	g.Procs()[0].ReadMem(va, got)
+	if string(got) != "r1" {
+		t.Fatalf("failover state %q", got)
+	}
+	if _, err := a.ReplicateTo(b, "missing"); err == nil {
+		t.Fatal("replicate of unknown group succeeded")
+	}
+}
+
+func TestImageBootRoundTrip(t *testing.T) {
+	m, _ := NewMachine(Config{StorageBytes: 1 << 30})
+	p := m.Spawn("app")
+	m.Attach("app", p)
+	va, _ := p.Mmap(1<<20, ProtRead|ProtWrite, false)
+	p.WriteMem(va, []byte("imaged"))
+	if _, err := m.Checkpoint("app"); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := m.Group("app")
+	if err := g.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	var img bytes.Buffer
+	if err := m.SaveImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := BootImage(&img, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := m2.PersistedGroups()
+	if err != nil || len(names) != 1 || names[0] != "app" {
+		t.Fatalf("groups = %v err=%v", names, err)
+	}
+	g2, _, err := m2.Restore("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	g2.Procs()[0].ReadMem(va, got)
+	if string(got) != "imaged" {
+		t.Fatalf("booted state %q", got)
+	}
+}
