@@ -188,6 +188,8 @@ func cmdAttach(img string, args []string) error {
 	}
 	fmt.Printf("%s attached: counter=%d, %d checkpoints, last stop %v\n",
 		*name, v, g.Checkpoints(), st.StopTime)
+	fmt.Printf("  flush: %d bytes via %d workers (depth %d), encode %v, write %v\n",
+		st.FlushBytes, st.FlushWorkers, st.MaxQueueDepth, st.EncodeTime, st.WriteTime)
 	return save(m, img)
 }
 
@@ -211,6 +213,8 @@ func cmdCheckpoint(img string, args []string) error {
 		return err
 	}
 	fmt.Printf("checkpointed %s: epoch %d, stop %v\n", *name, st.Epoch, st.StopTime)
+	fmt.Printf("  flush: %d bytes via %d workers (depth %d), encode %v, write %v\n",
+		st.FlushBytes, st.FlushWorkers, st.MaxQueueDepth, st.EncodeTime, st.WriteTime)
 	return save(m, img)
 }
 

@@ -12,7 +12,7 @@ package clock
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,11 +28,12 @@ type Clock interface {
 	Advance(d time.Duration)
 }
 
-// Virtual is the standard Clock implementation: a mutex-protected counter.
-// The zero value is a valid clock positioned at its epoch.
+// Virtual is the standard Clock implementation: an atomic counter, so the
+// hot paths that read time on every page (device submits, fault accounting)
+// never serialize on a lock. The zero value is a valid clock positioned at
+// its epoch.
 type Virtual struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64
 }
 
 // NewVirtual returns a virtual clock positioned at its epoch.
@@ -40,9 +41,7 @@ func NewVirtual() *Virtual { return &Virtual{} }
 
 // Now returns the current virtual time.
 func (c *Virtual) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance moves the clock forward by d.
@@ -50,9 +49,7 @@ func (c *Virtual) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("clock: negative advance %v", d))
 	}
-	c.mu.Lock()
-	c.now += d
-	c.mu.Unlock()
+	c.now.Add(int64(d))
 }
 
 // Stopwatch measures an interval of virtual time on a Clock.

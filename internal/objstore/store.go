@@ -69,6 +69,7 @@ type BlockDev interface {
 	ReadAt(p []byte, off int64) (int, error)
 	WriteAt(p []byte, off int64) (int, error)
 	SubmitWrite(p []byte, off int64) (time.Duration, error)
+	SubmitWritev(bufs [][]byte, off int64) (time.Duration, error)
 	SubmitRead(p []byte, off int64) (time.Duration, error)
 	WaitUntil(t time.Duration)
 	Flush()

@@ -56,12 +56,15 @@ func (g *Group) MemCkpt(p *kern.Proc, va uint64) (MemCkptStats, error) {
 	st.StopTime = sw.Elapsed()
 
 	// Flush asynchronously into the same on-disk objects the full
-	// checkpoint uses, so restore composes them naturally.
-	flushed, err := g.flushPairs(pairs, CkptIncremental)
+	// checkpoint uses (through the same pipeline), so restore composes
+	// them naturally.
+	plan := newFlushPlan()
+	g.planPairs(plan, pairs, CkptIncremental)
+	res, err := g.runFlush(plan)
 	if err != nil {
 		return st, err
 	}
-	st.FlushBytes = flushed
+	st.FlushBytes = res.bytes
 	g.pending = append(g.pending, pairs...)
 	for _, pair := range pairs {
 		st.Pages += int64(pair.Frozen.Pages())

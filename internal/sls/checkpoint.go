@@ -165,24 +165,22 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 		return st, nil
 	}
 
-	// 5–7. Flush memory and commit.
-	flushed, err := g.flushPairs(pairs, kind)
+	// 5–7. Flush memory through the pipeline (flush.go) and commit. Cold
+	// objects — persistent objects serialized but never flushed (read-only
+	// regions no shadow covers) — join the same pool.
+	plan := newFlushPlan()
+	g.planPairs(plan, pairs, kind)
+	g.planCold(plan, ser)
+	res, err := g.runFlush(plan)
 	if err != nil {
 		return st, err
 	}
-	st.FlushBytes = flushed
-	trapped, err := g.flushTrapped(pairs)
-	if err != nil {
-		return st, err
-	}
-	st.FlushBytes += trapped
+	st.FlushBytes = res.bytes
+	st.EncodeTime = res.encode
+	st.WriteTime = res.write
+	st.FlushWorkers = res.workers
+	st.MaxQueueDepth = res.maxDepth
 	g.pending = pairs
-
-	// Any persistent object serialized but never flushed (read-only
-	// regions that no shadow covers) flushes its resident content once.
-	if err := g.flushColdObjects(ser); err != nil {
-		return st, err
-	}
 
 	// Delete store objects that vanished since the last checkpoint.
 	for oid := range g.prevLive {
@@ -228,36 +226,6 @@ func (g *Group) persistentRoot(obj *vm.Object) *vm.Object {
 		obj = obj.Backer()
 	}
 	return obj
-}
-
-// flushPairs writes frozen shadow pages into their persistent roots' store
-// objects. First flush (or CkptFull) writes the full visible image; later
-// flushes write only the frozen dirty set.
-func (g *Group) flushPairs(pairs []vm.ShadowPair, kind CheckpointKind) (int64, error) {
-	o := g.o
-	var bytes int64
-	for _, pair := range pairs {
-		target := g.persistentRoot(pair.Frozen)
-		toid := g.oidFor(target)
-		o.Store.Ensure(toid, UTMemObject)
-		full := kind == CkptFull || !g.flushed[toid]
-		var err error
-		var n int64
-		if full {
-			n, err = g.flushFullImage(pair.Frozen, target, toid)
-		} else {
-			n, err = g.flushDirty(pair.Frozen, toid)
-		}
-		if err != nil {
-			return bytes, err
-		}
-		bytes += n
-		g.flushed[toid] = true
-		// The object is now store-backed: clean pages become evictable
-		// through the unified checkpoint/swap path.
-		g.installPager(target, toid)
-	}
-	return bytes, nil
 }
 
 // writebackMappedFiles writes the dirty pages of shared file mappings back
@@ -308,114 +276,6 @@ func (g *Group) writebackMappedFiles() error {
 				return werr
 			}
 		}
-	}
-	return nil
-}
-
-// flushTrapped handles fork's interaction with system shadowing: a fork
-// mid-interval interposes its own (persistent) shadows above the live
-// transient, leaving that transient trapped mid-chain with pages written
-// before the fork — shared state both sides must still see. Those pages
-// flush into the transient's persistent root (the shared backing object's
-// store object), exactly once; the trapped object is immutable from then
-// on, since no entry references it directly anymore.
-func (g *Group) flushTrapped(pairs []vm.ShadowPair) (int64, error) {
-	var bytes int64
-	for _, pair := range pairs {
-		// Collect top-down, flush bottom-up: when transients stack, the
-		// older (deeper) one's pages must land first so newer versions
-		// overwrite them in the store.
-		var trapped []*vm.Object
-		for obj := pair.Frozen.Backer(); obj != nil; obj = obj.Backer() {
-			if g.transient[obj] && !g.trappedDone[obj] {
-				trapped = append(trapped, obj)
-			}
-		}
-		for i := len(trapped) - 1; i >= 0; i-- {
-			obj := trapped[i]
-			target := g.persistentRoot(obj.Backer())
-			if target == nil {
-				continue
-			}
-			toid := g.oidFor(target)
-			g.o.Store.Ensure(toid, UTMemObject)
-			n, err := g.flushDirty(obj, toid)
-			if err != nil {
-				return bytes, err
-			}
-			bytes += n
-			g.trappedDone[obj] = true
-		}
-	}
-	return bytes, nil
-}
-
-// flushDirty writes only the frozen shadow's own (dirty) pages.
-func (g *Group) flushDirty(frozen *vm.Object, toid objstore.OID) (int64, error) {
-	var bytes int64
-	var err error
-	frozen.EachPage(func(pg int64, p *mem.Page) {
-		if err != nil {
-			return
-		}
-		if e := g.o.Store.WritePage(toid, pg, p.Data); e != nil {
-			err = e
-			return
-		}
-		p.Dirty = false
-		p.Backed = true
-		bytes += mem.PageSize
-	})
-	return bytes, err
-}
-
-// flushFullImage writes the content visible at the frozen level down to and
-// including the persistent target (but not below it — pages under the
-// target, e.g. a mapped file's clean pages, restore from their own object).
-func (g *Group) flushFullImage(frozen, target *vm.Object, toid objstore.OID) (int64, error) {
-	var bytes int64
-	pages := mem.PagesFor(target.Size())
-	for pg := int64(0); pg < pages; pg++ {
-		p, owner := frozen.Lookup(pg)
-		if p == nil || !withinChain(frozen, target, owner) {
-			continue
-		}
-		if err := g.o.Store.WritePage(toid, pg, p.Data); err != nil {
-			return bytes, err
-		}
-		p.Dirty = false
-		p.Backed = true
-		bytes += mem.PageSize
-	}
-	return bytes, nil
-}
-
-// withinChain reports whether owner lies on the chain frozen..target
-// inclusive.
-func withinChain(frozen, target, owner *vm.Object) bool {
-	for c := frozen; c != nil; c = c.Backer() {
-		if c == owner {
-			return true
-		}
-		if c == target {
-			return false
-		}
-	}
-	return false
-}
-
-// flushColdObjects persists serialized memory objects that no shadow pair
-// covered (read-only or excluded regions seen for the first time).
-func (g *Group) flushColdObjects(ser *serializer) error {
-	for obj, oid := range ser.memOIDs {
-		if g.flushed[oid] {
-			continue
-		}
-		g.o.Store.Ensure(oid, UTMemObject)
-		if _, err := g.flushFullImage(obj, obj, oid); err != nil {
-			return err
-		}
-		g.flushed[oid] = true
 	}
 	return nil
 }

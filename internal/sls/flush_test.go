@@ -1,0 +1,210 @@
+package sls
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"aurora/internal/vm"
+)
+
+// runFlushWorkload drives one deterministic history — full image,
+// incremental deltas, a mem-only interval (trapped transients), a fork
+// mid-interval, and a final crash — against a fresh world with the given
+// flush-worker count. It returns the restored memory images of every
+// process concatenated, plus the total bytes the flush pool submitted.
+func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
+	t.Helper()
+	w := newWorld(t)
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	g.Options.FlushWorkers = workers
+	if err := g.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	const pages = 1024
+	va, err := p.Mmap(pages*vm.PageSize, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(proc interface {
+		WriteMem(uint64, []byte) error
+	}, first, n int, round byte) {
+		buf := make([]byte, 16)
+		for i := first; i < first+n; i++ {
+			for j := range buf {
+				buf[j] = byte(i) ^ round
+			}
+			if err := proc.WriteMem(va+uint64(i)*vm.PageSize, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var flushed int64
+
+	// Round 1: full image of 600 dirty pages.
+	write(p, 0, 600, 1)
+	st, err := g.Checkpoint(CkptIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed += st.FlushBytes
+
+	// Round 2: a mem-only interval freezes a transient full of dirty
+	// pages; round 3 overwrites part of that range, then a committing
+	// checkpoint must flush the trapped transient without letting its
+	// stale versions beat the newer ones.
+	write(p, 100, 300, 2)
+	if _, err := g.Checkpoint(CkptMemOnly); err != nil {
+		t.Fatal(err)
+	}
+	write(p, 200, 300, 3)
+	st, err = g.Checkpoint(CkptIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed += st.FlushBytes
+
+	// Round 4: fork mid-interval (the trapped-transient path again, via
+	// the fork's interposed shadows), then diverge parent and child.
+	write(p, 0, 100, 4)
+	child := p.Fork()
+	write(p, 300, 100, 5)
+	write(child, 500, 100, 6)
+	st, err = g.Checkpoint(CkptIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed += st.FlushBytes
+
+	// Crash and restore; collect every process's image.
+	w2 := w.crash(t)
+	g2, _, err := w2.o.RestoreGroup("app", w2.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var img []byte
+	page := make([]byte, vm.PageSize)
+	for _, pid := range []uint64{uint64(p.LocalPID), uint64(child.LocalPID)} {
+		found := false
+		for _, rp := range g2.Procs() {
+			if uint64(rp.LocalPID) != pid {
+				continue
+			}
+			found = true
+			for i := 0; i < pages; i++ {
+				if err := rp.ReadMem(va+uint64(i)*vm.PageSize, page); err != nil {
+					t.Fatal(err)
+				}
+				img = append(img, page...)
+			}
+		}
+		if !found {
+			t.Fatalf("restored group lacks pid %d", pid)
+		}
+	}
+	return img, flushed
+}
+
+// TestFlushSerialParallelIdentical is the pipeline's core regression: the
+// serial path (FlushWorkers=1) and the parallel pool must produce
+// byte-identical restored memory images, and submit the same byte count.
+func TestFlushSerialParallelIdentical(t *testing.T) {
+	serial, serialBytes := runFlushWorkload(t, 1)
+	parallel, parallelBytes := runFlushWorkload(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("restored images diverge at byte %d (page %d): serial %#x parallel %#x",
+					i, i/int(vm.PageSize), serial[i], parallel[i])
+			}
+		}
+	}
+	if serialBytes != parallelBytes {
+		t.Fatalf("flush bytes diverge: serial %d parallel %d", serialBytes, parallelBytes)
+	}
+}
+
+// TestTrappedFlushNewestVersionWins pins the ordering fix: a page dirtied
+// in a mem-only interval AND in the following interval must restore with
+// the newer value. (The old serial path flushed the trapped transient
+// after the frozen pair, so the stale version landed last.)
+func TestTrappedFlushNewestVersionWins(t *testing.T) {
+	w := newWorld(t)
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	g.Attach(p)
+	va, _ := p.Mmap(1<<20, vm.ProtRead|vm.ProtWrite, false)
+
+	p.WriteMem(va, []byte("v1"))
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+	p.WriteMem(va, []byte("v2"))
+	if _, err := g.Checkpoint(CkptMemOnly); err != nil {
+		t.Fatal(err)
+	}
+	// The mem-only frozen shadow now holds v2, unflushed. Overwrite the
+	// same page, then commit: the trapped v2 must not beat v3.
+	p.WriteMem(va, []byte("v3"))
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := w.crash(t)
+	g2, _, err := w2.o.RestoreGroup("app", w2.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2)
+	g2.Procs()[0].ReadMem(va, got)
+	if string(got) != "v3" {
+		t.Fatalf("restored %q, want v3 (stale trapped version won)", got)
+	}
+}
+
+// TestCheckpointFlushStats checks the pipeline's observability fields.
+func TestCheckpointFlushStats(t *testing.T) {
+	w := newWorld(t)
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	g.Attach(p)
+	va, _ := p.Mmap(8<<20, vm.ProtRead|vm.ProtWrite, false)
+	buf := make([]byte, vm.PageSize)
+	for i := 0; i < 512; i++ {
+		p.WriteMem(va+uint64(i)*vm.PageSize, buf)
+	}
+	st, err := g.Checkpoint(CkptIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlushWorkers < 1 || st.FlushWorkers > runtime.GOMAXPROCS(0) {
+		t.Fatalf("FlushWorkers = %d", st.FlushWorkers)
+	}
+	if st.MaxQueueDepth < 1 {
+		t.Fatalf("MaxQueueDepth = %d", st.MaxQueueDepth)
+	}
+	if st.EncodeTime <= 0 || st.WriteTime <= 0 {
+		t.Fatalf("stage times: encode %v write %v", st.EncodeTime, st.WriteTime)
+	}
+	if st.FlushBytes < 512*vm.PageSize {
+		t.Fatalf("FlushBytes = %d, want >= %d", st.FlushBytes, 512*vm.PageSize)
+	}
+
+	// Serial stays selectable, and an incremental flush counts exactly the
+	// bytes the workers submitted.
+	g.Options.FlushWorkers = 1
+	for i := 0; i < 7; i++ {
+		p.WriteMem(va+uint64(i*50)*vm.PageSize, buf)
+	}
+	st, err = g.Checkpoint(CkptIncremental)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlushWorkers != 1 {
+		t.Fatalf("FlushWorkers = %d, want 1", st.FlushWorkers)
+	}
+	if st.FlushBytes != 7*vm.PageSize {
+		t.Fatalf("incremental FlushBytes = %d, want %d", st.FlushBytes, 7*vm.PageSize)
+	}
+}

@@ -65,16 +65,28 @@ const (
 )
 
 // CheckpointStats reports one checkpoint's costs.
+//
+// StopTime, OSTime, MemTime, and DurableAt are virtual durations — the
+// simulated machine's costs. EncodeTime and WriteTime are host wall-clock
+// durations summed across the flush pool's workers: they measure the
+// reproduction's own pipeline, and their sum exceeding the flush's wall
+// time is the direct signature of stage overlap.
 type CheckpointStats struct {
 	Epoch      objstore.Epoch
 	Kind       CheckpointKind
 	StopTime   time.Duration // application pause (quiesce..resume)
 	OSTime     time.Duration // portion spent serializing POSIX objects
 	MemTime    time.Duration // portion spent shadowing / marking COW
-	FlushBytes int64         // data submitted to storage
+	FlushBytes int64         // data submitted to storage, summed over workers
 	DurableAt  time.Duration // virtual time the checkpoint persists
 	Objects    int           // POSIX objects serialized
 	DirtyPages int64         // pages captured in the frozen shadows
+
+	// Flush pipeline observability (see internal/sls/flush.go).
+	EncodeTime    time.Duration // host time staging pages, summed over workers
+	WriteTime     time.Duration // host time submitting store writes, summed over workers
+	FlushWorkers  int           // workers the flush pool actually ran
+	MaxQueueDepth int           // high-water mark of jobs awaiting a worker
 }
 
 // RestoreStats reports one restore's costs.
@@ -123,6 +135,15 @@ func New(k *kern.Kernel, store *objstore.Store) *Orchestrator {
 	return o
 }
 
+// Options tunes a group's checkpoint machinery.
+type Options struct {
+	// FlushWorkers bounds the checkpoint flush pipeline's worker pool.
+	// 0 selects the default (GOMAXPROCS); 1 selects the serial path —
+	// the same pipeline drained by a single worker, so serial and
+	// parallel flushes produce identical store content.
+	FlushWorkers int
+}
+
 // Group is a consistency group: processes checkpointed atomically.
 type Group struct {
 	o    *Orchestrator
@@ -131,6 +152,8 @@ type Group struct {
 	// Period is the checkpoint interval for periodic persistence
 	// (default 10 ms — 100x per second).
 	Period time.Duration
+	// Options tunes the checkpoint flush pipeline.
+	Options Options
 
 	oid objstore.OID // the group record in the store
 

@@ -1,6 +1,7 @@
 package sls
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -174,6 +175,90 @@ func TestConcurrentWorkersUnderCheckpointing(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkCut(g2.Procs()[0], "final")
+}
+
+// Stress the parallel flush pool specifically: worker goroutines dirty
+// pages continuously while checkpoints run with an explicit multi-worker
+// flush pipeline, exercising encode/write racing application faults (the
+// shadow pairs are frozen, but the live side COW-copies from the same
+// chains the workers walk). Meant to run under -race; consistency is
+// checked by restoring the final crash image.
+func TestParallelFlushUnderConcurrentDirtying(t *testing.T) {
+	w := newWorld(t)
+	p := w.k.NewProc("stress")
+	g := w.o.CreateGroup("stress")
+	g.Options.FlushWorkers = 8
+	if err := g.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const pages = 256 // per worker
+	va, err := p.Mmap(workers*pages*vm.PageSize, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var buf [8]byte
+			for i := uint64(1); !stop.Load(); i++ {
+				binary.LittleEndian.PutUint64(buf[:], i)
+				pg := (i * 17) % pages // stride to spread dirtying
+				addr := va + uint64(wk*pages+int(pg))*vm.PageSize
+				if err := p.WriteMem(addr, buf[:]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(wk)
+	}
+
+	for i := 0; i < 40; i++ {
+		st, err := g.Checkpoint(CkptIncremental)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FlushWorkers > 8 {
+			t.Fatalf("FlushWorkers = %d, want <= 8", st.FlushWorkers)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+	w2 := w.crash(t)
+	g2, _, err := w2.o.RestoreGroup("stress", w2.store, RestoreFull, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The workers were stopped before the final checkpoint, so the restored
+	// image must match the live image exactly.
+	want := make([]byte, 8)
+	got := make([]byte, 8)
+	for pg := 0; pg < workers*pages; pg++ {
+		addr := va + uint64(pg)*vm.PageSize
+		if err := p.ReadMem(addr, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := g2.Procs()[0].ReadMem(addr, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("page %d: restored %x, want %x", pg, got, want)
+		}
+	}
 }
 
 // Quiesce under blocked accept: a server goroutine parked in Accept must
