@@ -128,11 +128,45 @@ func (d *Device) SubmitWrite(p []byte, off int64) (time.Duration, error) {
 	return done, nil
 }
 
+// SubmitWriteAfter queues p at off like SubmitWrite, but the transfer may
+// not begin before virtual time after. It models a completion-ordered
+// submission: a commit record issued from the completion callback of its
+// dependencies, enforcing write ordering at the device without blocking
+// the submitting thread's clock. This is the only ordering primitive the
+// device offers — there is no FUA bit, and plain submits may complete in
+// any order across queue members.
+func (d *Device) SubmitWriteAfter(p []byte, off int64, after time.Duration) (time.Duration, error) {
+	if err := d.check(len(p), off); err != nil {
+		return 0, err
+	}
+	occupancy := clock.XferTime(0, d.costs.DevWriteBps, int64(len(p)))
+	d.mu.Lock()
+	d.copyIn(p, off)
+	d.stats.Writes++
+	d.stats.BytesWritten += int64(len(p))
+	start := d.nextFree
+	if now := d.clk.Now(); now > start {
+		start = now
+	}
+	if after > start {
+		start = after
+	}
+	d.nextFree = start + occupancy
+	done := d.nextFree + d.costs.DevWriteLatency
+	d.mu.Unlock()
+	return done, nil
+}
+
 // SubmitWritev queues the concatenation of bufs at off as one asynchronous
 // write: one command, one queue occupancy for the total size, the fixed
 // latency added once. It is the batched flush path's entry point — page
 // payloads scattered in memory land in a contiguous device run without an
 // intermediate staging copy or per-page lock round trips.
+//
+// Zero-length payload slices are legal and contribute nothing; a vector with
+// no bytes at all is a no-op that completes immediately without issuing a
+// command. A vector that would run past the device end fails whole: no bytes
+// land and neither the queue model nor the traffic counters move.
 func (d *Device) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	var total int64
 	for _, b := range bufs {
@@ -140,6 +174,9 @@ func (d *Device) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	}
 	if err := d.check(int(total), off); err != nil {
 		return 0, err
+	}
+	if total == 0 {
+		return d.clk.Now(), nil
 	}
 	// Occupancy accrues per payload slice so a vectored submit charges the
 	// queue exactly what the equivalent SubmitWrite sequence would.
@@ -205,6 +242,31 @@ func (d *Device) Flush() {
 	d.stats.Flushes++
 	d.mu.Unlock()
 	d.WaitUntil(t)
+}
+
+// PeekAt copies device contents at off into p without charging transfer
+// time or touching the traffic counters. It is a debug/tooling port — fault
+// injectors use it to capture pre-images and test harnesses use it to
+// compare raw media — and must never appear on a simulated IO path.
+func (d *Device) PeekAt(p []byte, off int64) {
+	if err := d.check(len(p), off); err != nil {
+		panic(err)
+	}
+	d.mu.Lock()
+	d.copyOut(p, off)
+	d.mu.Unlock()
+}
+
+// PokeAt overwrites device contents at off with p, bypassing the timing
+// model and the traffic counters. Fault injectors use it to tear writes and
+// roll back dropped ones; tests use it to corrupt media under fsck.
+func (d *Device) PokeAt(p []byte, off int64) {
+	if err := d.check(len(p), off); err != nil {
+		panic(err)
+	}
+	d.mu.Lock()
+	d.copyIn(p, off)
+	d.mu.Unlock()
 }
 
 // copyIn requires d.mu.
@@ -375,6 +437,10 @@ func (s *Stripe) SubmitWrite(p []byte, off int64) (time.Duration, error) {
 }
 
 func (s *Stripe) submitMember(e extent) (time.Duration, error) {
+	return s.submitMemberAfter(e, 0)
+}
+
+func (s *Stripe) submitMemberAfter(e extent, after time.Duration) (time.Duration, error) {
 	d := s.devs[e.dev]
 	occupancy := clock.XferTime(0, s.costs.DevWriteBps, e.size)
 	d.mu.Lock()
@@ -389,8 +455,30 @@ func (s *Stripe) submitMember(e extent) (time.Duration, error) {
 	if now := s.clk.Now(); now > start {
 		start = now
 	}
+	if after > start {
+		start = after
+	}
 	d.nextFree = start + occupancy
 	return d.nextFree + s.costs.DevWriteLatency, nil
+}
+
+// SubmitWriteAfter queues a striped write whose member transfers may not
+// begin before virtual time after. See Device.SubmitWriteAfter.
+func (s *Stripe) SubmitWriteAfter(p []byte, off int64, after time.Duration) (time.Duration, error) {
+	if err := s.check(len(p), off); err != nil {
+		return 0, err
+	}
+	var done time.Duration
+	for _, e := range s.split(p, off) {
+		t, err := s.submitMemberAfter(e, after)
+		if err != nil {
+			return 0, err
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done, nil
 }
 
 // SubmitWritev queues the concatenation of bufs across the stripe. Each
@@ -406,6 +494,9 @@ func (s *Stripe) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	}
 	if err := s.check(int(total), off); err != nil {
 		return 0, err
+	}
+	if total == 0 {
+		return s.clk.Now(), nil
 	}
 	var done time.Duration
 	bi, bo := 0, 0 // position in bufs of the next unconsumed byte
@@ -500,6 +591,28 @@ func (s *Stripe) SubmitRead(p []byte, off int64) (time.Duration, error) {
 		}
 	}
 	return done, nil
+}
+
+// PeekAt copies stripe contents at off into p without charging transfer
+// time or touching the traffic counters. See Device.PeekAt.
+func (s *Stripe) PeekAt(p []byte, off int64) {
+	if err := s.check(len(p), off); err != nil {
+		panic(err)
+	}
+	for _, e := range s.split(p, off) {
+		s.devs[e.dev].PeekAt(e.p, e.off)
+	}
+}
+
+// PokeAt overwrites stripe contents at off with p, bypassing the timing
+// model and the traffic counters. See Device.PokeAt.
+func (s *Stripe) PokeAt(p []byte, off int64) {
+	if err := s.check(len(p), off); err != nil {
+		panic(err)
+	}
+	for _, e := range s.split(p, off) {
+		s.devs[e.dev].PokeAt(e.p, e.off)
+	}
 }
 
 // WaitUntil advances the stripe's clock to t if t is in the future.

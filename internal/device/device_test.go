@@ -364,3 +364,133 @@ func TestSubmitWritevMatchesSubmitWrite(t *testing.T) {
 		}
 	})
 }
+
+func TestSubmitWritevZeroLengthBuffers(t *testing.T) {
+	page := func(b byte) []byte { return bytes.Repeat([]byte{b}, 4096) }
+
+	t.Run("interleaved-empty", func(t *testing.T) {
+		d, _ := newDev(1 << 20)
+		vec := [][]byte{{}, page(0xA1), nil, page(0xB2), {}}
+		if _, err := d.SubmitWritev(vec, 8192); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8192)
+		if _, err := d.ReadAt(got, 8192); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0xA1 || got[4096] != 0xB2 {
+			t.Fatalf("payload landed wrong: %#x %#x", got[0], got[4096])
+		}
+		if st := d.Stats(); st.Writes != 1 || st.BytesWritten != 8192 {
+			t.Fatalf("stats = %+v, want 1 write of 8192 bytes", st)
+		}
+	})
+
+	t.Run("entirely-empty", func(t *testing.T) {
+		d, clk := newDev(1 << 20)
+		done, err := d.SubmitWritev([][]byte{{}, nil, {}}, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != clk.Now() {
+			t.Fatalf("empty vector completes at %v, want now (%v)", done, clk.Now())
+		}
+		if st := d.Stats(); st.Writes != 0 || st.BytesWritten != 0 {
+			t.Fatalf("empty vector moved counters: %+v", st)
+		}
+	})
+
+	t.Run("entirely-empty-at-device-end", func(t *testing.T) {
+		// A zero-byte vector at the very end of the device is in range:
+		// [size, size) is empty.
+		d, _ := newDev(1 << 20)
+		if _, err := d.SubmitWritev(nil, 1<<20); err != nil {
+			t.Fatalf("zero bytes at device end: %v", err)
+		}
+	})
+
+	t.Run("stripe", func(t *testing.T) {
+		s, clk := newStripe()
+		done, err := s.SubmitWritev([][]byte{nil, {}}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != clk.Now() {
+			t.Fatalf("empty vector completes at %v, want now", done)
+		}
+		if st := s.Stats(); st.Writes != 0 {
+			t.Fatalf("empty vector issued %d member commands", st.Writes)
+		}
+	})
+}
+
+func TestSubmitWritevPartialOutOfRangeFailsWhole(t *testing.T) {
+	// A vector that would run past the device end must fail atomically:
+	// no bytes land (even for the in-range prefix), no stats move, and
+	// the queue model does not advance.
+	check := func(t *testing.T, read func(p []byte, off int64) (int, error),
+		submit func([][]byte, int64) (time.Duration, error), stats func() Stats, size int64) {
+		vec := [][]byte{bytes.Repeat([]byte{0x01}, 4096), bytes.Repeat([]byte{0x02}, 4096)}
+		off := size - 4096 // second buffer exceeds the device
+		before := stats()
+		if _, err := submit(vec, off); err == nil {
+			t.Fatal("overrunning vector did not fail")
+		}
+		if st := stats(); st != before {
+			t.Fatalf("failed vector moved counters: %+v -> %+v", before, st)
+		}
+		got := make([]byte, 4096)
+		if _, err := read(got, off); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			if b != 0 {
+				t.Fatalf("failed vector landed byte %d = %#x", i, b)
+			}
+		}
+	}
+
+	t.Run("device", func(t *testing.T) {
+		d, _ := newDev(1 << 20)
+		check(t, d.ReadAt, d.SubmitWritev, d.Stats, d.Size())
+	})
+	t.Run("stripe", func(t *testing.T) {
+		s, _ := newStripe()
+		check(t, s.ReadAt, s.SubmitWritev, s.Stats, s.Size())
+	})
+}
+
+func TestSubmitWriteAfterOrdersTransfer(t *testing.T) {
+	d, clk := newDev(1 << 20)
+	costs := clock.DefaultCosts()
+	buf := make([]byte, 4096)
+
+	// Unconstrained: same completion as SubmitWrite on an idle queue.
+	plain, err := d.SubmitWrite(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constrained to start far in the future: completion is pushed past the
+	// constraint, regardless of the queue being free earlier.
+	after := plain + time.Millisecond
+	ordered, err := d.SubmitWriteAfter(buf, 4096, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ordered < after+costs.DevWriteLatency {
+		t.Fatalf("ordered completion %v, want >= constraint %v + latency", ordered, after)
+	}
+	// A past constraint is a no-op: behaves like a plain submit.
+	clk.Advance(2 * time.Millisecond)
+	relaxed, err := d.SubmitWriteAfter(buf, 8192, clk.Now()-time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New(clk, costs, 1<<20).SubmitWrite(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relaxed != want {
+		t.Fatalf("past-constraint completion %v, plain submit on idle queue %v", relaxed, want)
+	}
+}

@@ -2,6 +2,7 @@ package kern
 
 import (
 	"fmt"
+	"sort"
 
 	"aurora/internal/vm"
 )
@@ -189,8 +190,10 @@ func (k *Kernel) sysvByID(id int64) *ShmSegment {
 }
 
 // ShmSegments lists all live segments (checkpoint path: these are the
-// backrefs handed to system shadowing). The SysV namespace scan cost is
-// charged here, matching Table 4's SysV-vs-POSIX asymmetry.
+// backrefs handed to system shadowing), in ascending segment-ID order so
+// the checkpoint write stream is deterministic across runs. The SysV
+// namespace scan cost is charged here, matching Table 4's SysV-vs-POSIX
+// asymmetry.
 func (k *Kernel) ShmSegments() []*ShmSegment {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -204,5 +207,6 @@ func (k *Kernel) ShmSegments() []*ShmSegment {
 			out = append(out, seg)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

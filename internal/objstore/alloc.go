@@ -5,9 +5,28 @@ package objstore
 // committed data; blocks become reusable only when no retained checkpoint
 // can still see them.
 
+// promoteReleasedLocked moves queued releases whose omitting superblock
+// has completed (virtual time passed its transfer) into the allocatable
+// pools. Before that instant a power cut could still recover the index
+// that references them, so the allocator must not hand them out. Queue
+// entries carry monotonically increasing stamps, so a prefix scan
+// suffices. Requires mu.
+func (s *Store) promoteReleasedLocked() {
+	now := s.clk.Now()
+	i := 0
+	for ; i < len(s.releaseQ) && s.releaseQ[i].at <= now; i++ {
+		s.freelist = append(s.freelist, s.releaseQ[i].data...)
+		s.metaFree = append(s.metaFree, s.releaseQ[i].meta...)
+	}
+	if i > 0 {
+		s.releaseQ = append(s.releaseQ[:0], s.releaseQ[i:]...)
+	}
+}
+
 // allocBlock returns one free block address born in the current interval.
 // Requires mu.
 func (s *Store) allocBlock() (int64, error) {
+	s.promoteReleasedLocked()
 	if n := len(s.freelist); n > 0 {
 		a := s.freelist[n-1]
 		s.freelist = s.freelist[:n-1]
@@ -51,6 +70,7 @@ func (s *Store) allocRun(n int64) (int64, error) {
 // allocMetaRun returns n contiguous blocks for checkpoint indexes,
 // preferring the recycled metadata pool over the bump region. Requires mu.
 func (s *Store) allocMetaRun(n int64) (int64, error) {
+	s.promoteReleasedLocked()
 	for i, r := range s.metaFree {
 		if r.n >= n {
 			addr := r.addr
@@ -99,8 +119,9 @@ func (s *Store) retireRun(addr, n int64) {
 	}
 }
 
-// sweepDeadlist moves deadlist entries no retained checkpoint can see onto
-// the freelist. Requires mu.
+// sweepDeadlist moves deadlist entries no retained checkpoint can see into
+// the release stage; they become allocatable once the next commit is
+// durable. Requires mu.
 func (s *Store) sweepDeadlist() int {
 	if len(s.deadlist) == 0 {
 		return 0
@@ -126,7 +147,7 @@ func (s *Store) sweepDeadlist() int {
 		if held {
 			kept = append(kept, db)
 		} else {
-			s.freelist = append(s.freelist, db.addr)
+			s.releasing = append(s.releasing, db.addr)
 			s.stats.BlocksFreed++
 			freed++
 		}
@@ -138,8 +159,14 @@ func (s *Store) sweepDeadlist() int {
 // ReleaseCheckpointsBefore drops history older than epoch and reclaims any
 // blocks only that history held — including the released checkpoints' own
 // index blocks, whose lifetime is implied by the retained list rather than
-// recorded in the deadlist. It returns the number of blocks freed. The
-// most recent checkpoint can never be released.
+// recorded in the deadlist. It returns the number of blocks freed.
+//
+// The reclaimed blocks are NOT allocatable immediately: until the next
+// superblock is durable, a crash still recovers an index that references
+// the released history. Frees therefore stage in releasing/releasingMeta,
+// move to releaseQ at the next commit, and are promoted once virtual time
+// passes that commit's superblock completion. The most recent checkpoint
+// can never be released.
 func (s *Store) ReleaseCheckpointsBefore(epoch Epoch) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,7 +179,7 @@ func (s *Store) ReleaseCheckpointsBefore(epoch Epoch) int {
 		}
 		// Index runs recycle through the in-memory metadata pool, never
 		// the serialized freelist (see metaFree).
-		s.metaFree = append(s.metaFree, blockRun{addr: c.indexAddr, n: blocksFor(c.indexLen)})
+		s.releasingMeta = append(s.releasingMeta, blockRun{addr: c.indexAddr, n: blocksFor(c.indexLen)})
 		s.stats.BlocksFreed += blocksFor(c.indexLen)
 		freed += int(blocksFor(c.indexLen))
 		delete(s.durableAt, c.epoch)
@@ -176,6 +203,7 @@ func (s *Store) RetainedCheckpoints() []Epoch {
 func (s *Store) FreeBlocks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.promoteReleasedLocked()
 	return len(s.freelist)
 }
 

@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 )
@@ -110,6 +111,10 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 	// per-page device commands collapse into per-run ones without staging a
 	// contiguous copy. (The allocator hands sequential batches contiguous
 	// runs: ascending from the bump region, descending off the freelist.)
+	sums := make([]uint32, len(writes))
+	for i, w := range writes {
+		sums[i] = crc32.ChecksumIEEE(w.Data)
+	}
 	order := make([]int, len(writes))
 	for i := range order {
 		order[i] = i
@@ -159,6 +164,7 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 		c := chunks[i]
 		s.retireBlock(c.addrs[slot])
 		c.addrs[slot] = addrs[i]
+		c.sums[slot] = sums[i]
 		c.dirty = true
 		if end := (w.Pg + 1) * BlockSize; end > o.size {
 			o.size = end

@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aurora/internal/clock"
@@ -36,13 +37,23 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	cur := s.curEpoch()
 	st := CheckpointStats{Epoch: cur}
 
-	// 1. Flush dirty chunks and records of dirty objects.
-	for _, o := range s.objects {
+	// 1. Flush dirty chunks and records of dirty objects, in OID (and
+	// chunk-index) order: a given logical state must always produce the
+	// identical submit sequence, because the crash-exploration harness
+	// replays checkpoints by submit index.
+	oids := make([]OID, 0, len(s.objects))
+	for oid := range s.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		o := s.objects[oid]
 		if !o.dirty {
 			continue
 		}
 		st.DirtyObjects++
-		for _, c := range o.chunks {
+		for _, ci := range sortedChunkIdxs(o) {
+			c := o.chunks[ci]
 			if !c.dirty {
 				continue
 			}
@@ -84,27 +95,29 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	}
 	s.deleted = make(map[OID]bool)
 
-	// 2. Build and write the index. nextBlk must cover the index's own
-	// blocks, so reserve them first with a size-stable encoding, then
-	// patch the field.
-	idx := &indexState{
-		epoch:    cur,
-		nextOID:  s.nextOID,
-		nextBlk:  0, // patched below
-		freelist: s.freelist,
-		deadlist: s.deadlist,
-		retained: s.retained,
-	}
-	for oid, o := range s.objects {
-		idx.objects = append(idx.objects, indexEntry{oid: oid, addr: o.recordAddr, len: o.recordLen})
-	}
-	e := encodeIndex(idx)
-	idxLen := int64(len(e.b)) + 4 // + CRC
-	idxAddr, err := s.allocMetaRun(blocksFor(idxLen))
+	// 2. Build and write the index. The index's own run must be allocated
+	// BEFORE the final encode: allocation can pop the freelist and advance
+	// nextBlk, both of which are serialized inside the index. (Encoding
+	// first and patching afterwards — the old scheme — serialized a stale
+	// freelist that could still list the index's own block, letting a
+	// post-recovery allocation overwrite a retained index.) A trial encode
+	// sizes the run; allocation only ever shrinks the encoded state, so the
+	// real index always fits and any over-allocated tail returns to the
+	// metadata pool.
+	trialLen := int64(len(encodeIndex(s.indexState(cur)).b)) + 4 // + CRC
+	idxRun := blocksFor(trialLen)
+	idxAddr, err := s.allocMetaRun(idxRun)
 	if err != nil {
 		return st, err
 	}
-	patchI64(e.b, nextBlkOffset, s.nextBlk)
+	e := encodeIndex(s.indexState(cur))
+	idxLen := int64(len(e.b)) + 4
+	if extra := idxRun - blocksFor(idxLen); extra > 0 {
+		s.metaFree = append(s.metaFree, blockRun{addr: idxAddr + blocksFor(idxLen)*BlockSize, n: extra})
+		for i := blocksFor(idxLen); i < idxRun; i++ {
+			delete(s.birthOf, idxAddr+i*BlockSize)
+		}
+	}
 	idxBytes := e.seal()
 	done, err := s.dev.SubmitWrite(idxBytes, idxAddr)
 	if err != nil {
@@ -115,22 +128,17 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	}
 	st.MetaBytes += idxLen
 
-	if s.FailBeforeCommit {
-		s.FailBeforeCommit = false
-		return st, fmt.Errorf("objstore: injected crash before commit (epoch %d)", cur)
-	}
-
-	// 3. Commit: superblock ordered after all interval writes are durable.
+	// 3. Commit: the superblock is submitted with an ordering constraint —
+	// its transfer may not begin before every interval write has completed.
+	// This is a real device-level barrier, not an accounting fiction: under
+	// power loss a plain submit could land while a dependency on another
+	// stripe member was still queued, and recovery would follow a valid
+	// superblock into rolled-back metadata.
 	sb := encodeSuperblock(superblock{epoch: cur, indexAddr: idxAddr, indexLen: idxLen})
 	slotOff := int64(s.superSlot) * BlockSize
-	sbDone, err := s.dev.SubmitWrite(sb, slotOff)
+	sbDone, err := s.dev.SubmitWriteAfter(sb, slotOff, s.pendingDurable)
 	if err != nil {
 		return st, err
-	}
-	if s.pendingDurable > sbDone {
-		// The superblock transfer cannot start before its dependencies
-		// drain; model the serialization with one extra write latency.
-		sbDone = s.pendingDurable + s.costs.DevWriteLatency
 	}
 	s.superSlot = 1 - s.superSlot
 	s.pendingDurable = sbDone
@@ -149,16 +157,60 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	s.durableAt[cur] = sbDone
 	s.stats.Checkpoints++
 	s.stats.MetaBytes += st.MetaBytes
+
+	// 5. Queue staged releases behind this commit's durability horizon.
+	// The superblock that no longer references the released history is on
+	// the wire, but a power cut before its transfer completes would recover
+	// the previous index — which still needs these blocks intact. They
+	// become allocatable only once virtual time passes sbDone (see
+	// promoteReleasedLocked). Data blocks were already serialized into this
+	// index's freelist (see indexState); index runs recycle through the
+	// in-memory metadata pool as ever.
+	if len(s.releasing) > 0 || len(s.releasingMeta) > 0 {
+		s.releaseQ = append(s.releaseQ, stagedRelease{at: sbDone, data: s.releasing, meta: s.releasingMeta})
+		s.releasing, s.releasingMeta = nil, nil
+	}
+	s.promoteReleasedLocked()
+
 	st.DurableAt = sbDone
 	st.CommitCharged = sw.Elapsed()
 	return st, nil
 }
 
-// patchI64 overwrites an 8-byte little-endian field in place.
-func patchI64(b []byte, off int, v int64) {
-	for i := 0; i < 8; i++ {
-		b[off+i] = byte(uint64(v) >> (8 * i))
+// indexState snapshots the allocator and object table for encoding. Staged
+// released blocks are serialized as free — if this commit's superblock
+// lands they are genuinely unreferenced, and if it doesn't, recovery reads
+// an older index that never listed them. Requires mu.
+func (s *Store) indexState(cur Epoch) *indexState {
+	idx := &indexState{
+		epoch:    cur,
+		nextOID:  s.nextOID,
+		nextBlk:  s.nextBlk,
+		freelist: s.freelist,
+		deadlist: s.deadlist,
+		retained: s.retained,
 	}
+	if len(s.releasing) > 0 || len(s.releaseQ) > 0 {
+		// Queued and currently-staged released data blocks are free in this
+		// epoch's view (its retained list omits the history that held them),
+		// even though the in-memory allocator cannot touch them yet.
+		fl := make([]int64, 0, len(s.freelist)+len(s.releasing))
+		fl = append(fl, s.freelist...)
+		for _, q := range s.releaseQ {
+			fl = append(fl, q.data...)
+		}
+		idx.freelist = append(fl, s.releasing...)
+	}
+	oids := make([]OID, 0, len(s.objects))
+	for oid := range s.objects {
+		oids = append(oids, oid)
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	for _, oid := range oids {
+		o := s.objects[oid]
+		idx.objects = append(idx.objects, indexEntry{oid: oid, addr: o.recordAddr, len: o.recordLen})
+	}
+	return idx
 }
 
 // WaitDurable blocks (in virtual time) until epoch's commit is durable.

@@ -206,21 +206,38 @@ func decodeRecord(b []byte) (*object, error) {
 	return o, nil
 }
 
-// encodeChunk serializes a block-map chunk into exactly one block.
+// encodeChunk serializes a block-map chunk into exactly one block: the
+// address array, the per-slot page checksums, and a whole-chunk CRC in the
+// final four bytes so recovery and fsck can reject a torn or rotted chunk
+// outright.
 func encodeChunk(c *chunk) []byte {
 	b := make([]byte, BlockSize)
 	for i, a := range c.addrs {
 		binary.LittleEndian.PutUint64(b[i*8:], uint64(a))
 	}
+	sumsOff := ChunkFanout * 8
+	for i, s := range c.sums {
+		binary.LittleEndian.PutUint32(b[sumsOff+i*4:], s)
+	}
+	binary.LittleEndian.PutUint32(b[BlockSize-4:], crc32.ChecksumIEEE(b[:BlockSize-4]))
 	return b
 }
 
-// decodeChunk fills a chunk's address array from one block.
-func decodeChunk(c *chunk, b []byte) {
+// decodeChunk fills a chunk's address and checksum arrays from one block,
+// rejecting it if the chunk CRC does not match.
+func decodeChunk(c *chunk, b []byte) error {
+	if want := binary.LittleEndian.Uint32(b[BlockSize-4:]); crc32.ChecksumIEEE(b[:BlockSize-4]) != want {
+		return fmt.Errorf("%w: chunk checksum mismatch", ErrCorrupt)
+	}
 	for i := range c.addrs {
 		c.addrs[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
 	}
+	sumsOff := ChunkFanout * 8
+	for i := range c.sums {
+		c.sums[i] = binary.LittleEndian.Uint32(b[sumsOff+i*4:])
+	}
 	c.loaded = true
+	return nil
 }
 
 // indexState is the decoded form of a checkpoint index.
@@ -240,19 +257,15 @@ type indexEntry struct {
 	len  int64
 }
 
-// nextBlkOffset is the fixed byte offset of the nextBlk field within an
-// encoded index, so it can be patched after the index's own blocks are
-// allocated. Layout: magic(4) epoch(8) nextOID(8) = 20.
-const nextBlkOffset = 20
-
-// encodeIndex serializes a checkpoint index. The caller patches nextBlk at
-// nextBlkOffset before sealing, so this returns the unsealed body.
+// encodeIndex serializes a checkpoint index, returning the unsealed body.
+// The caller encodes from post-allocation state (the index's own blocks are
+// allocated before the final encode), so no field patching is needed.
 func encodeIndex(st *indexState) *enc {
 	var e enc
 	e.u32(magicIndex)
 	e.u64(uint64(st.epoch))
 	e.u64(uint64(st.nextOID))
-	e.i64(st.nextBlk) // patched later
+	e.i64(st.nextBlk)
 	e.u32(uint32(len(st.freelist)))
 	for _, a := range st.freelist {
 		e.i64(a)

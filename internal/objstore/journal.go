@@ -136,14 +136,25 @@ func (j *Journal) Append(payload []byte) (uint64, error) {
 	off := js.extentAddr + js.tail
 	js.tail += need
 	j.o.size = js.tail
-	if _, err := j.s.dev.SubmitWrite(frame, off); err != nil {
+	done, err := j.s.dev.SubmitWrite(frame, off)
+	if err != nil {
 		j.s.mu.Unlock()
 		return 0, err
 	}
-	clk, costs := j.s.clk, j.s.costs
+	// Fold the frame into the interval's durability horizon: the next
+	// superblock must not be able to land on media that lost this append,
+	// or recovery to that epoch would find a gap in the extent.
+	if done > j.s.pendingDurable {
+		j.s.pendingDurable = done
+	}
+	dev, clk, costs := j.s.dev, j.s.clk, j.s.costs
 	j.s.mu.Unlock()
-	// The journal path is synchronous: charge the full calibrated latency.
+	// The journal path is synchronous: charge the full calibrated latency,
+	// then wait out the device transfer itself. Without the wait the frame
+	// could still sit in a member queue when power is cut, violating the
+	// durable-on-return contract above.
 	clk.Advance(clock.XferTime(costs.JournalLatency, costs.JournalBps, need))
+	dev.WaitUntil(done)
 	return seq, nil
 }
 

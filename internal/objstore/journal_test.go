@@ -215,8 +215,18 @@ func TestJournalDeleteReclaimsExtent(t *testing.T) {
 	if _, err := s.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
-	s.ReleaseCheckpointsBefore(s.Epoch())
+	if freed := s.ReleaseCheckpointsBefore(s.Epoch()); freed < 4 {
+		t.Fatalf("release freed %d blocks, want >= 4 (the extent)", freed)
+	}
+	// Released blocks stage until the next superblock is durable (a crash
+	// before then must find them intact for the still-referenced history).
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WaitDurable(s.Epoch()); err != nil {
+		t.Fatal(err)
+	}
 	if got := s.FreeBlocks(); got < 4 {
-		t.Fatalf("freed blocks = %d, want >= 4 (the extent)", got)
+		t.Fatalf("free blocks = %d after promoting commit, want >= 4 (the extent)", got)
 	}
 }

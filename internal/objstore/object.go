@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"fmt"
+	"hash/crc32"
 	"time"
 )
 
@@ -125,7 +126,9 @@ func (s *Store) loadChunk(o *object, pg int64, create bool) (*chunk, error) {
 		if _, err := s.dev.ReadAt(buf, c.addr); err != nil {
 			return nil, err
 		}
-		decodeChunk(c, buf)
+		if err := decodeChunk(c, buf); err != nil {
+			return nil, fmt.Errorf("oid %d chunk %d at %#x: %w", o.oid, ci, c.addr, err)
+		}
 	}
 	return c, nil
 }
@@ -176,6 +179,7 @@ func (s *Store) writePageLocked(o *object, pg int64, data []byte) error {
 	}
 	s.retireBlock(c.addrs[slot])
 	c.addrs[slot] = addr
+	c.sums[slot] = crc32.ChecksumIEEE(data)
 	c.dirty = true
 	o.dirty = true
 	s.stats.DataBytes += BlockSize
@@ -412,7 +416,13 @@ func (s *Store) truncateLocked(o *object, size int64) error {
 		return nil
 	}
 	lastPg := (size + BlockSize - 1) / BlockSize // first page index to drop
+	cis := make([]int64, 0, len(o.chunks))
 	for ci := range o.chunks {
+		cis = append(cis, ci)
+	}
+	sortInt64s(cis) // retire in a fixed order: the freelist feeds the
+	// deterministic submit stream the crash harness replays
+	for _, ci := range cis {
 		first := ci * ChunkFanout
 		if first+ChunkFanout <= lastPg {
 			continue
@@ -431,6 +441,7 @@ func (s *Store) truncateLocked(o *object, size int64) error {
 				if c.addrs[slot] != 0 {
 					s.retireBlock(c.addrs[slot])
 					c.addrs[slot] = 0
+					c.sums[slot] = 0
 					c.dirty = true
 				}
 			} else if c.addrs[slot] != 0 {
@@ -464,9 +475,16 @@ func (s *Store) truncateLocked(o *object, size int64) error {
 	return nil
 }
 
-// dropChunks retires all of an object's data and chunk blocks. Requires mu.
+// dropChunks retires all of an object's data and chunk blocks, in chunk
+// order so the freelist stays deterministic. Requires mu.
 func (s *Store) dropChunks(o *object) {
-	for ci, c := range o.chunks {
+	cis := make([]int64, 0, len(o.chunks))
+	for ci := range o.chunks {
+		cis = append(cis, ci)
+	}
+	sortInt64s(cis)
+	for _, ci := range cis {
+		c := o.chunks[ci]
 		if c.loaded {
 			for _, a := range c.addrs {
 				s.retireBlock(a)
@@ -475,9 +493,10 @@ func (s *Store) dropChunks(o *object) {
 			// Chunk never faulted in: load addresses to retire them.
 			buf := make([]byte, BlockSize)
 			if _, err := s.dev.ReadAt(buf, c.addr); err == nil {
-				decodeChunk(c, buf)
-				for _, a := range c.addrs {
-					s.retireBlock(a)
+				if err := decodeChunk(c, buf); err == nil {
+					for _, a := range c.addrs {
+						s.retireBlock(a)
+					}
 				}
 			}
 		}

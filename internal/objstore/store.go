@@ -43,9 +43,12 @@ type Epoch uint64
 // BlockSize is the store's allocation unit, one page.
 const BlockSize = mem.PageSize
 
-// ChunkFanout is the number of page slots per block-map chunk; one chunk of
-// 8-byte block addresses fills exactly one block.
-const ChunkFanout = BlockSize / 8
+// ChunkFanout is the number of page slots per block-map chunk. Each slot
+// carries an 8-byte block address plus a 4-byte CRC of the page's content
+// (so fsck can detect torn or rotted data pages), and the chunk ends in a
+// 4-byte whole-chunk CRC: 341 twelve-byte slots plus the seal fill one
+// 4096-byte block exactly.
+const ChunkFanout = BlockSize / 12
 
 // InlineMax is the largest object record payload kept inline in the record
 // instead of in data blocks. POSIX object records — including outliers like
@@ -69,6 +72,7 @@ type BlockDev interface {
 	ReadAt(p []byte, off int64) (int, error)
 	WriteAt(p []byte, off int64) (int, error)
 	SubmitWrite(p []byte, off int64) (time.Duration, error)
+	SubmitWriteAfter(p []byte, off int64, after time.Duration) (time.Duration, error)
 	SubmitWritev(bufs [][]byte, off int64) (time.Duration, error)
 	SubmitRead(p []byte, off int64) (time.Duration, error)
 	WaitUntil(t time.Duration)
@@ -89,6 +93,14 @@ type deadBlock struct {
 type blockRun struct {
 	addr int64
 	n    int64
+}
+
+// stagedRelease is one commit's worth of released blocks, allocatable once
+// virtual time reaches at (the releasing superblock's completion).
+type stagedRelease struct {
+	at   time.Duration
+	data []int64
+	meta []blockRun
 }
 
 // ckptInfo describes one retained checkpoint.
@@ -117,7 +129,8 @@ type object struct {
 
 // chunk is one cached/modified block-map chunk.
 type chunk struct {
-	addrs  [ChunkFanout]int64 // 0 = hole
+	addrs  [ChunkFanout]int64  // 0 = hole
+	sums   [ChunkFanout]uint32 // CRC-32 of each slot's page content
 	dirty  bool
 	loaded bool  // addrs valid (vs. lazily loadable from addr)
 	addr   int64 // committed location; 0 if never written
@@ -159,6 +172,23 @@ type Store struct {
 	// simply empty (a bounded, documented leak of a few dozen blocks).
 	metaFree []blockRun
 
+	// releasing/releasingMeta stage blocks freed by ReleaseCheckpointsBefore
+	// until the next superblock lands. Handing them straight to the
+	// allocator would let this interval overwrite blocks that a crash —
+	// recovering to the still-on-device previous superblock, whose retained
+	// list references the released history — needs intact. The next commit
+	// serializes `releasing` into its freelist and moves both lists onto
+	// releaseQ, stamped with the committing superblock's durability time.
+	releasing     []int64
+	releasingMeta []blockRun
+
+	// releaseQ holds releases whose omitting superblock has been submitted
+	// but may still sit in a device queue. Only once virtual time passes the
+	// superblock's completion can a power cut no longer resurrect the old
+	// index that references these blocks — promotion to the allocatable
+	// pools (freelist/metaFree) is gated on that instant, not on submit.
+	releaseQ []stagedRelease
+
 	objects map[OID]*object
 	deleted map[OID]bool // deleted since last checkpoint (must leave index)
 
@@ -171,10 +201,6 @@ type Store struct {
 	superSlot int // which superblock slot the next commit uses
 
 	stats Stats
-
-	// FailBeforeCommit, when set, makes the next Checkpoint write all data
-	// and metadata but "crash" before the superblock — for recovery tests.
-	FailBeforeCommit bool
 }
 
 // Format initializes an empty store on dev, committing epoch 0.
@@ -191,6 +217,11 @@ func Format(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
 		birthOf:   make(map[int64]Epoch),
 	}
 	if _, err := s.Checkpoint(); err != nil {
+		return nil, err
+	}
+	// mkfs returns only once the empty filesystem is durable: a power cut
+	// the instant after Format must still find a valid superblock.
+	if err := s.WaitDurable(s.epoch); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -218,6 +249,14 @@ func Recover(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) 
 	}
 	s.epoch = sb.epoch
 	return s, nil
+}
+
+// ReopenAfterCrash abandons this store's in-memory state and re-runs crash
+// recovery against the same device — what a reboot does. The receiver must
+// not be used afterwards. Fault-injection harnesses call this after the
+// device comes back from a simulated power cut.
+func (s *Store) ReopenAfterCrash() (*Store, error) {
+	return Recover(s.dev, s.clk, s.costs)
 }
 
 // Epoch returns the last committed checkpoint epoch.

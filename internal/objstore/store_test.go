@@ -129,27 +129,6 @@ func TestUncommittedInvisibleAfterRecovery(t *testing.T) {
 	}
 }
 
-func TestCrashBeforeCommitKeepsPreviousCheckpoint(t *testing.T) {
-	s, dev, clk := newStore(t)
-	oid := s.NewOID()
-	s.PutRecord(oid, 1, []byte("v1"))
-	if _, err := s.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-	s.PutRecord(oid, 1, []byte("v2"))
-	s.FailBeforeCommit = true
-	if _, err := s.Checkpoint(); err == nil {
-		t.Fatal("injected crash did not surface")
-	}
-	s2 := reopen(t, dev, clk)
-	if got, _ := s2.GetRecord(oid); string(got) != "v1" {
-		t.Fatalf("after torn checkpoint got %q, want v1", got)
-	}
-	if s2.Epoch() != 2 {
-		t.Fatalf("epoch = %d, want 2", s2.Epoch())
-	}
-}
-
 func TestPageRoundTrip(t *testing.T) {
 	s, _, _ := newStore(t)
 	oid := s.NewOID()

@@ -2,6 +2,7 @@ package sls
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aurora/internal/clock"
@@ -182,11 +183,18 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	st.MaxQueueDepth = res.maxDepth
 	g.pending = pairs
 
-	// Delete store objects that vanished since the last checkpoint.
+	// Delete store objects that vanished since the last checkpoint, in
+	// ascending-OID order (map iteration would randomize the metadata
+	// stream and break crash-replay determinism).
+	var gone []objstore.OID
 	for oid := range g.prevLive {
 		if !ser.live[oid] {
-			o.Store.Delete(oid) //nolint:errcheck // absent is fine
+			gone = append(gone, oid)
 		}
+	}
+	sort.Slice(gone, func(i, j int) bool { return gone[i] < gone[j] })
+	for _, oid := range gone {
+		o.Store.Delete(oid) //nolint:errcheck // absent is fine
 	}
 	g.prevLive = ser.live
 

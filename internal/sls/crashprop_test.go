@@ -1,0 +1,439 @@
+package sls
+
+// Crash-recovery property tests at the SLS level: run a workload over a
+// fault-injecting device, cut power at a chosen submit index, reboot, and
+// verify that RestoreGroup reproduces exactly the memory image and journal
+// contents of a committed checkpoint. The op streams are deterministic
+// (seeded), so every failure replays from its printed seed + crash index.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"aurora/internal/clock"
+	"aurora/internal/device"
+	"aurora/internal/faultdev"
+	"aurora/internal/kern"
+	"aurora/internal/mem"
+	"aurora/internal/objstore"
+	"aurora/internal/slsfs"
+	"aurora/internal/vm"
+)
+
+// faultWorld is a full simulated machine whose store runs over faultdev.
+type faultWorld struct {
+	clk   *clock.Virtual
+	costs *clock.Costs
+	fd    *faultdev.Dev
+	store *objstore.Store
+	fs    *slsfs.FS
+	k     *kern.Kernel
+	o     *Orchestrator
+}
+
+// newFaultWorld builds and formats a machine fault-free, waits until the
+// whole setup (store + slsfs) is durable, then arms the plan. Submit
+// indexes below the post-setup count are out of the crash space.
+func newFaultWorld(plan faultdev.Plan) (*faultWorld, error) {
+	clk := clock.NewVirtual()
+	costs := clock.DefaultCosts()
+	stripe := device.NewStripe(clk, costs, 4, 64<<10, 256<<20)
+	fd := faultdev.New(stripe, clk, faultdev.Plan{CutAtSubmit: -1})
+	store, err := objstore.Format(fd, clk, costs)
+	if err != nil {
+		return nil, fmt.Errorf("format: %w", err)
+	}
+	fs, err := slsfs.Format(store, clk, costs)
+	if err != nil {
+		return nil, fmt.Errorf("slsfs format: %w", err)
+	}
+	vmsys := vm.NewSystem(mem.New(0), clk, costs)
+	k := kern.New(clk, costs, vmsys, fs)
+	w := &faultWorld{clk: clk, costs: costs, fd: fd, store: store, fs: fs, k: k, o: New(k, store)}
+	if err := store.WaitDurable(store.Epoch()); err != nil {
+		return nil, err
+	}
+	fd.Arm(plan)
+	return w, nil
+}
+
+// slsOp is one deterministic workload operation.
+type slsOp struct {
+	kind    int // 0 write page, 1 inc ckpt, 2 full ckpt, 3 mem-only ckpt, 4 journal append, 5 barrier
+	page    int64
+	val     byte
+	payload []byte
+}
+
+const (
+	opWrite = iota
+	opCkptInc
+	opCkptFull
+	opCkptMem
+	opAppend
+	opBarrier
+)
+
+// jEntry is one appended journal frame the model expects to replay.
+type jEntry struct {
+	seq     uint64
+	payload []byte
+}
+
+// slsPoint is a golden: the logical application image at one committed
+// store epoch. A nil mem map marks a pre-group setup epoch (the group must
+// NOT be restorable there).
+type slsPoint struct {
+	epoch objstore.Epoch
+	after int64 // device submit count right after the commit returned
+	mem   map[int64]byte
+	jour  []jEntry
+}
+
+const workloadPages = 32
+
+// slsRun drives one op list against one world, recording goldens.
+type slsRun struct {
+	w      *faultWorld
+	p      *kern.Proc
+	g      *Group
+	va     uint64
+	model  map[int64]byte
+	jour   []jEntry
+	points []slsPoint
+}
+
+func startRun(plan faultdev.Plan) (*slsRun, error) {
+	w, err := newFaultWorld(plan)
+	if err != nil {
+		return nil, err
+	}
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	g.Options.FlushWorkers = 1 // deterministic submit stream
+	g.Period = 0
+	if err := g.Attach(p); err != nil {
+		return nil, err
+	}
+	va, err := p.Mmap(workloadPages*vm.PageSize, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		return nil, err
+	}
+	r := &slsRun{w: w, p: p, g: g, va: va, model: make(map[int64]byte)}
+	// Point zero: the durable pre-group world. Restores must fail here.
+	r.points = append(r.points, slsPoint{epoch: w.store.Epoch(), after: w.fd.Submits()})
+	return r, nil
+}
+
+func (r *slsRun) record() {
+	memCopy := make(map[int64]byte, len(r.model))
+	for pg, v := range r.model {
+		memCopy[pg] = v
+	}
+	jourCopy := append([]jEntry(nil), r.jour...)
+	r.points = append(r.points, slsPoint{
+		epoch: r.w.store.Epoch(),
+		after: r.w.fd.Submits(),
+		mem:   memCopy,
+		jour:  jourCopy,
+	})
+}
+
+func (r *slsRun) apply(op slsOp) error {
+	switch op.kind {
+	case opWrite:
+		if err := r.p.WriteMem(r.va+uint64(op.page)*vm.PageSize, []byte{op.val}); err != nil {
+			return err
+		}
+		r.model[op.page] = op.val
+	case opCkptInc, opCkptFull:
+		kind := CkptIncremental
+		if op.kind == opCkptFull {
+			kind = CkptFull
+		}
+		if _, err := r.g.Checkpoint(kind); err != nil {
+			return err
+		}
+		r.record()
+	case opCkptMem:
+		if _, err := r.g.Checkpoint(CkptMemOnly); err != nil {
+			return err
+		}
+	case opAppend:
+		j, err := r.g.Journal("wal", 1<<20)
+		if err != nil {
+			return err
+		}
+		seq, err := j.Append(op.payload)
+		if err != nil {
+			return err
+		}
+		r.jour = append(r.jour, jEntry{seq: seq, payload: op.payload})
+	case opBarrier:
+		if err := r.g.Barrier(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *slsRun) run(ops []slsOp) error {
+	for _, op := range ops {
+		if err := r.apply(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slsCrashCheck replays ops with a cut at submit index k and verifies
+// recovery + restore against the baseline goldens.
+func slsCrashCheck(seed int64, ops []slsOp, points []slsPoint, k int64, torn, drop bool) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("[seed=%d crash-index=%d torn=%v dropInFlight=%v] %s",
+			seed, k, torn, drop, fmt.Sprintf(format, args...))
+	}
+	r, err := startRun(faultdev.Plan{Seed: seed, CutAtSubmit: k, Torn: torn, DropInFlight: drop})
+	if err != nil {
+		return fail("world: %v", err)
+	}
+	werr := r.run(ops)
+	if werr == nil {
+		return fail("replay diverged: workload finished without hitting the cut (total %d)", r.w.fd.Submits())
+	}
+	if !r.w.fd.Crashed() {
+		return fail("workload failed before the cut: %v", werr)
+	}
+
+	// Reboot.
+	r.w.fd.Reopen()
+	store2, err := objstore.Recover(r.w.fd, r.w.clk, r.w.costs)
+	if err != nil {
+		return fail("recovery: %v", err)
+	}
+	if rep := store2.Fsck(); !rep.OK() {
+		return fail("fsck found %d problems: %v", len(rep.Problems), rep.Problems)
+	}
+	fs2, err := slsfs.Recover(store2, r.w.clk, r.w.costs)
+	if err != nil {
+		return fail("slsfs recovery: %v", err)
+	}
+	vmsys := vm.NewSystem(mem.New(0), r.w.clk, r.w.costs)
+	k2 := kern.New(r.w.clk, r.w.costs, vmsys, fs2)
+	o2 := New(k2, store2)
+
+	// Which committed epochs may the reboot land on? Same contract as the
+	// faultdev harness: exactly the last commit under the prefix model
+	// (plus the committing epoch when tearing landed its superblock
+	// whole); any not-newer commit under DropInFlight.
+	last := 0
+	for i := range points {
+		if points[i].after <= k {
+			last = i
+		}
+	}
+	var allowed []int
+	if drop {
+		for i := 0; i <= last; i++ {
+			allowed = append(allowed, i)
+		}
+	} else {
+		allowed = []int{last}
+	}
+	if last+1 < len(points) && torn && k == points[last+1].after-1 {
+		allowed = append(allowed, last+1)
+	}
+	var golden *slsPoint
+	for _, i := range allowed {
+		if points[i].epoch == store2.Epoch() {
+			golden = &points[i]
+			break
+		}
+	}
+	if golden == nil {
+		want := make([]objstore.Epoch, len(allowed))
+		for i, idx := range allowed {
+			want[i] = points[idx].epoch
+		}
+		return fail("recovered epoch %d, want one of %v", store2.Epoch(), want)
+	}
+
+	if golden.mem == nil {
+		// Pre-group epoch: the group record never committed, so the
+		// restore must fail cleanly rather than fabricate a group.
+		if _, _, err := o2.RestoreGroup("app", store2, RestoreFull, true); err == nil {
+			return fail("restored a group from epoch %d, before its first checkpoint", golden.epoch)
+		}
+		return nil
+	}
+
+	g2, rst, err := o2.RestoreGroup("app", store2, RestoreFull, true)
+	if err != nil {
+		return fail("restore from epoch %d: %v", golden.epoch, err)
+	}
+	if rst.Procs != 1 {
+		return fail("restored %d procs, want 1", rst.Procs)
+	}
+	procs := g2.Procs()
+	if len(procs) != 1 {
+		return fail("group has %d procs, want 1", len(procs))
+	}
+	rp := procs[0]
+	buf := make([]byte, 1)
+	for pg, want := range golden.mem {
+		if err := rp.ReadMem(r.va+uint64(pg)*vm.PageSize, buf); err != nil {
+			return fail("epoch %d: read page %d: %v", golden.epoch, pg, err)
+		}
+		if buf[0] != want {
+			return fail("epoch %d: page %d = %#x, want %#x", golden.epoch, pg, buf[0], want)
+		}
+	}
+	if len(golden.jour) > 0 {
+		j, err := g2.OpenJournal("wal")
+		if err != nil {
+			return fail("epoch %d: journal: %v", golden.epoch, err)
+		}
+		got, err := j.Entries()
+		if err != nil {
+			return fail("epoch %d: journal scan: %v", golden.epoch, err)
+		}
+		// Appends are durable on return, so every golden frame must have
+		// survived; later frames may legitimately replay too.
+		if len(got) < len(golden.jour) {
+			return fail("epoch %d: journal lost entries: %d recovered, %d appended", golden.epoch, len(got), len(golden.jour))
+		}
+		for i, we := range golden.jour {
+			if got[i].Seq != we.seq || string(got[i].Payload) != string(we.payload) {
+				return fail("epoch %d: journal entry %d differs", golden.epoch, i)
+			}
+		}
+	}
+	return nil
+}
+
+// refOps is the fixed workload for the exhaustive sweep: memory writes,
+// incremental/full/mem-only checkpoints, and journal appends.
+func refOps() []slsOp {
+	return []slsOp{
+		{kind: opWrite, page: 0, val: 0x11},
+		{kind: opWrite, page: 1, val: 0x22},
+		{kind: opWrite, page: 5, val: 0x33},
+		{kind: opCkptInc},
+		{kind: opAppend, payload: []byte("frame-one")},
+		{kind: opAppend, payload: []byte("frame-two")},
+		{kind: opWrite, page: 1, val: 0x44},
+		{kind: opWrite, page: 9, val: 0x55},
+		{kind: opCkptFull},
+		{kind: opCkptMem},
+		{kind: opWrite, page: 2, val: 0x66},
+		{kind: opAppend, payload: []byte("frame-three")},
+		{kind: opBarrier},
+		{kind: opWrite, page: 5, val: 0x77},
+		{kind: opCkptInc},
+	}
+}
+
+// TestCrashRestoreExhaustive cuts power at every submit index of the
+// reference workload and verifies restore after each reboot.
+func TestCrashRestoreExhaustive(t *testing.T) {
+	for _, drop := range []bool{false, true} {
+		name := "prefix"
+		if drop {
+			name = "dropInFlight"
+		}
+		t.Run(name, func(t *testing.T) {
+			base, err := startRun(faultdev.Plan{Seed: 42, CutAtSubmit: -1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := refOps()
+			if err := base.run(ops); err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			setup := base.points[0].after
+			total := base.w.fd.Submits()
+			if total-setup < 20 {
+				t.Fatalf("workload too small to be interesting: %d crash points", total-setup)
+			}
+			fails := 0
+			for k := setup; k < total; k++ {
+				if err := slsCrashCheck(42, ops, base.points, k, true, drop); err != nil {
+					fails++
+					t.Errorf("%v", err)
+				}
+			}
+			if fails == 0 {
+				t.Logf("swept %d crash points over %d commits", total-setup, len(base.points)-1)
+			}
+		})
+	}
+}
+
+// randomOps builds a seeded random op sequence ending in a commit.
+func randomOps(seed int64) []slsOp {
+	rng := rand.New(rand.NewSource(seed))
+	n := 12 + rng.Intn(14)
+	ops := make([]slsOp, 0, n+2)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			ops = append(ops, slsOp{kind: opWrite, page: int64(rng.Intn(workloadPages)), val: byte(1 + rng.Intn(255))})
+		case 4:
+			ops = append(ops, slsOp{kind: opCkptInc})
+		case 5:
+			ops = append(ops, slsOp{kind: opCkptFull})
+		case 6:
+			ops = append(ops, slsOp{kind: opCkptMem})
+		case 7, 8:
+			p := make([]byte, 8+rng.Intn(56))
+			rng.Read(p)
+			ops = append(ops, slsOp{kind: opAppend, payload: p})
+		case 9:
+			ops = append(ops, slsOp{kind: opBarrier})
+		}
+	}
+	ops = append(ops, slsOp{kind: opWrite, page: int64(rng.Intn(workloadPages)), val: byte(1 + rng.Intn(255))})
+	ops = append(ops, slsOp{kind: opCkptInc})
+	return ops
+}
+
+// TestCrashRecoverRestoreProperty runs many seeded random op sequences,
+// cutting each at a seeded random submit index, alternating fault models.
+// AURORA_SLS_CRASH_SEQS overrides the sequence count.
+func TestCrashRecoverRestoreProperty(t *testing.T) {
+	seqs := 200
+	if v := os.Getenv("AURORA_SLS_CRASH_SEQS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("AURORA_SLS_CRASH_SEQS=%q: %v", v, err)
+		}
+		seqs = n
+	}
+	if testing.Short() {
+		seqs = 25
+	}
+	for seed := int64(0); seed < int64(seqs); seed++ {
+		ops := randomOps(seed)
+		base, err := startRun(faultdev.Plan{Seed: seed, CutAtSubmit: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := base.run(ops); err != nil {
+			t.Fatalf("baseline seed %d: %v", seed, err)
+		}
+		setup := base.points[0].after
+		total := base.w.fd.Submits()
+		if total <= setup {
+			t.Fatalf("seed %d: workload submitted nothing", seed)
+		}
+		kRng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+		k := setup + kRng.Int63n(total-setup)
+		drop := seed%2 == 1
+		if err := slsCrashCheck(seed, ops, base.points, k, true, drop); err != nil {
+			t.Errorf("%v", err)
+		}
+	}
+}

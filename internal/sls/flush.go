@@ -123,12 +123,19 @@ func (g *Group) planPairs(pl *flushPlan, pairs []vm.ShadowPair, kind CheckpointK
 
 // planCold enumerates serialized memory objects no shadow pair covered
 // (read-only or excluded regions seen for the first time): their resident
-// content flushes once, in full.
+// content flushes once, in full. Jobs are planned in ascending-OID order so
+// the submit stream is identical across runs of the same workload — the
+// crash-replay harness depends on that determinism.
 func (g *Group) planCold(pl *flushPlan, ser *serializer) {
+	cold := make([]*vm.Object, 0, len(ser.memOIDs))
 	for obj, oid := range ser.memOIDs {
-		if g.flushed[oid] {
-			continue
+		if !g.flushed[oid] {
+			cold = append(cold, obj)
 		}
+	}
+	sort.Slice(cold, func(i, j int) bool { return ser.memOIDs[cold[i]] < ser.memOIDs[cold[j]] })
+	for _, obj := range cold {
+		oid := ser.memOIDs[obj]
 		g.o.Store.Ensure(oid, UTMemObject)
 		j := pl.job(oid)
 		j.sources = append(j.sources, flushSource{obj: obj, target: obj})

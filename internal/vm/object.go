@@ -17,6 +17,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -434,8 +435,10 @@ func (o *Object) RemovePage(pg int64) (*mem.Page, bool) {
 	return p, ok
 }
 
-// EachPage calls fn for every resident page in ascending page order is not
-// guaranteed; fn must not re-enter the object.
+// EachPage calls fn for every resident page in ascending page order — the
+// flush path depends on the order being deterministic so that two runs of
+// the same workload submit the identical write stream (crash-replay
+// harnesses count on it). fn must not re-enter the object.
 func (o *Object) EachPage(fn func(pg int64, p *mem.Page)) {
 	o.mu.Lock()
 	idxs := make([]int64, 0, len(o.pages))
@@ -443,6 +446,7 @@ func (o *Object) EachPage(fn func(pg int64, p *mem.Page)) {
 		idxs = append(idxs, pg)
 	}
 	o.mu.Unlock()
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	for _, pg := range idxs {
 		o.mu.Lock()
 		p, ok := o.pages[pg]
