@@ -33,6 +33,7 @@ import (
 	"aurora/internal/objstore"
 	"aurora/internal/sls"
 	"aurora/internal/slsfs"
+	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
 
@@ -56,6 +57,8 @@ type (
 	RestoreStats = sls.RestoreStats
 	// Journal is an sls_journal write-ahead log.
 	Journal = objstore.Journal
+	// Tracer records virtual-time spans, counters, and histograms.
+	Tracer = trace.Tracer
 	// Epoch numbers checkpoints in the store.
 	Epoch = objstore.Epoch
 	// OID names an object in the store.
@@ -108,6 +111,10 @@ type Config struct {
 	StripeUnit int64
 	// Costs overrides the calibrated cost model; nil uses DefaultCosts.
 	Costs *clock.Costs
+	// Trace enables the virtual-clock tracer, wired through the devices,
+	// the store, and the SLS orchestrator. Off by default: the disabled
+	// path costs one nil check per hook site.
+	Trace bool
 }
 
 // Defaults returns the paper's testbed configuration scaled for a laptop.
@@ -128,16 +135,21 @@ type Machine struct {
 	FS    *slsfs.FS
 	K     *kern.Kernel
 	SLS   *sls.Orchestrator
+	// Tracer is non-nil when the machine was built with Config.Trace; use
+	// Tracer.WriteChrome / Tracer.Rollup to export what it recorded.
+	Tracer *trace.Tracer
 }
 
 // NewMachine boots a machine with freshly formatted storage.
 func NewMachine(cfg Config) (*Machine, error) {
-	return build(cfg, nil, nil, true)
+	return build(cfg, nil, nil, true, nil)
 }
 
 // build assembles a machine; when disk is non-nil the store is recovered
-// from it instead of formatted, and the timeline continues on clk.
-func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool) (*Machine, error) {
+// from it instead of formatted, and the timeline continues on clk. A
+// non-nil tr carries an existing tracer across a crash so the recorded
+// timeline spans reboots; otherwise cfg.Trace creates a fresh one.
+func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr *trace.Tracer) (*Machine, error) {
 	if cfg.Devices == 0 {
 		cfg.Devices = 4
 	}
@@ -157,6 +169,10 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool) (*M
 	if disk == nil {
 		disk = device.NewStripe(clk, costs, cfg.Devices, cfg.StripeUnit, cfg.StorageBytes/int64(cfg.Devices))
 	}
+	if tr == nil && cfg.Trace {
+		tr = trace.New(clk)
+	}
+	disk.SetTracer(tr)
 
 	var (
 		store *objstore.Store
@@ -179,26 +195,31 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool) (*M
 	if err != nil {
 		return nil, err
 	}
+	store.SetTracer(tr)
 	vmsys := vm.NewSystem(mem.New(cfg.MemoryBytes), clk, costs)
 	k := kern.New(clk, costs, vmsys, fs)
 	m := &Machine{
-		Clock: clk,
-		Costs: costs,
-		Disk:  disk,
-		Store: store,
-		FS:    fs,
-		K:     k,
-		SLS:   sls.New(k, store),
+		Clock:  clk,
+		Costs:  costs,
+		Disk:   disk,
+		Store:  store,
+		FS:     fs,
+		K:      k,
+		SLS:    sls.New(k, store),
+		Tracer: tr,
 	}
+	m.SLS.Tracer = tr
 	return m, nil
 }
 
 // Crash simulates power loss and reboot: all volatile state (kernel,
 // processes, memory) is gone; the returned machine recovered its store
 // from the last complete checkpoint on the same disks. The virtual
-// timeline continues across the crash.
+// timeline continues across the crash. If the machine was tracing, the
+// rebooted machine records into the same tracer — restore spans land on
+// the same timeline as the checkpoints that made them possible.
 func (m *Machine) Crash() (*Machine, error) {
-	return build(Config{Costs: m.Costs}, m.Disk, m.Clock, false)
+	return build(Config{Costs: m.Costs}, m.Disk, m.Clock, false, m.Tracer)
 }
 
 // SaveImage writes the machine's disk contents to w; BootImage brings the
@@ -219,7 +240,7 @@ func BootImage(r io.Reader, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	cfg.Costs = costs
-	return build(cfg, disk, clk, false)
+	return build(cfg, disk, clk, false, nil)
 }
 
 // PersistedGroups lists group names recorded on disk (sls ps after boot).

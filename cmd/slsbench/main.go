@@ -7,6 +7,11 @@
 //
 // Experiments: table1, fig3a, fig3b, fig3c, fig3d, table4, table5, table6,
 // fig4, fig5, fig6, table7.
+//
+// With -trace FILE, a checkpoint+crash+lazy-restore scenario runs under the
+// virtual-clock tracer and its timeline is written to FILE as Chrome
+// trace-event JSON (loadable in ui.perfetto.dev), with a text rollup on
+// stdout. -trace works standalone, with no experiment arguments.
 package main
 
 import (
@@ -15,7 +20,9 @@ import (
 	"os"
 	"time"
 
+	"aurora"
 	"aurora/internal/experiments"
+	"aurora/internal/vm"
 )
 
 type runner struct {
@@ -32,11 +39,22 @@ func wrap[T renderer](fn func(experiments.Scale) (T, error)) func(experiments.Sc
 
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized working sets")
+	traceOut := flag.String("trace", "", "write a Chrome trace of a checkpoint+restore run to FILE")
 	flag.Parse()
 
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
+	}
+
+	if *traceOut != "" {
+		if err := runTrace(*traceOut, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "slsbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 {
+			return
+		}
 	}
 
 	all := []runner{
@@ -60,7 +78,7 @@ func main() {
 
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: slsbench [-quick] all | EXPERIMENT...")
+		fmt.Fprintln(os.Stderr, "usage: slsbench [-quick] [-trace FILE] all | EXPERIMENT...")
 		os.Exit(2)
 	}
 	var todo []runner
@@ -87,4 +105,70 @@ func main() {
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %v wall time]\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runTrace drives a traced machine through four dirty-and-checkpoint
+// rounds, a power loss, and a lazy restore that pages the working set back
+// in — enough activity that the exported timeline has spans on every track
+// (sls, flush, objstore, device) — then writes the Chrome trace to path and
+// prints the rollup.
+func runTrace(path string, scale experiments.Scale) error {
+	pages := int64(256)
+	if scale == experiments.Quick {
+		pages = 64
+	}
+	m, err := aurora.NewMachine(aurora.Config{StorageBytes: 1 << 30, Trace: true})
+	if err != nil {
+		return err
+	}
+	p := m.Spawn("traced")
+	if _, err := p.Mmap(pages*aurora.PageSize, aurora.ProtRead|aurora.ProtWrite, false); err != nil {
+		return err
+	}
+	g, err := m.Attach("traced", p)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, aurora.PageSize)
+	for round := 0; round < 4; round++ {
+		buf[0] = byte(round + 1)
+		for pg := int64(0); pg < pages; pg++ {
+			if err := p.WriteMem(vm.UserBase+uint64(pg*aurora.PageSize), buf); err != nil {
+				return err
+			}
+		}
+		m.Clock.Advance(10 * time.Millisecond)
+		if _, err := g.Checkpoint(aurora.CkptIncremental); err != nil {
+			return err
+		}
+	}
+	if err := g.Barrier(); err != nil {
+		return err
+	}
+	m2, err := m.Crash() // the tracer rides across the reboot
+	if err != nil {
+		return err
+	}
+	g2, _, err := m2.RestoreLazily("traced")
+	if err != nil {
+		return err
+	}
+	p2 := g2.Procs()[0]
+	for pg := int64(0); pg < pages; pg++ {
+		if err := p2.ReadMem(vm.UserBase+uint64(pg*aurora.PageSize), buf); err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := m2.Tracer.WriteChrome(f); err != nil {
+		return err
+	}
+	fmt.Print(m2.Tracer.Rollup())
+	fmt.Printf("[trace written to %s]\n\n", path)
+	return nil
 }

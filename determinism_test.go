@@ -1,0 +1,96 @@
+package aurora_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"aurora"
+	"aurora/internal/vm"
+)
+
+// runDeterministic drives one fixed workload — dirty pages, incremental
+// checkpoints, a send stream — on a traced machine with a serial flush
+// pool, and returns the emitted disk image, the send stream, and the trace
+// event sequence. FlushWorkers is pinned to 1 because a parallel pool
+// appends job events in whatever order workers finish; the submit stream
+// and on-disk image are deterministic either way, but the event LOG is
+// only reproducible serially.
+func runDeterministic(t *testing.T) (image, stream []byte, events []string) {
+	t.Helper()
+	m, err := aurora.NewMachine(aurora.Config{StorageBytes: 1 << 30, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Spawn("det")
+	va, err := p.Mmap(1<<20, aurora.ProtRead|aurora.ProtWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.Attach("det", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Options.FlushWorkers = 1
+	buf := make([]byte, 32)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 40; i++ {
+			buf[0] = byte(round*40 + i)
+			if err := p.WriteMem(va+uint64(i)*vm.PageSize, buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Clock.Advance(time.Millisecond)
+		if _, err := g.Checkpoint(aurora.CkptIncremental); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sendBuf bytes.Buffer
+	if err := g.Send(&sendBuf); err != nil {
+		t.Fatal(err)
+	}
+	var img bytes.Buffer
+	if err := m.SaveImage(&img); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Tracer.Events() {
+		events = append(events, fmt.Sprintf("%d %v %s %d %d", e.Kind, e.Track, e.Name, e.Start, e.Dur))
+	}
+	return img.Bytes(), sendBuf.Bytes(), events
+}
+
+// TestRunToRunDeterminism pins the map-iteration sweep: two runs of the
+// identical workload must emit byte-identical disk images and send
+// streams, and record the identical trace event sequence. Any unsorted map
+// range left on the serialize, send, or restore paths shows up here as a
+// diff.
+func TestRunToRunDeterminism(t *testing.T) {
+	img1, stream1, ev1 := runDeterministic(t)
+	img2, stream2, ev2 := runDeterministic(t)
+
+	if !bytes.Equal(img1, img2) {
+		n := 0
+		for i := range img1 {
+			if img1[i] != img2[i] {
+				n++
+			}
+		}
+		t.Errorf("disk images differ: %d bytes (len %d vs %d)", n, len(img1), len(img2))
+	}
+	if !bytes.Equal(stream1, stream2) {
+		t.Errorf("send streams differ (len %d vs %d)", len(stream1), len(stream2))
+	}
+	if len(ev1) != len(ev2) {
+		t.Fatalf("trace event counts differ: %d vs %d", len(ev1), len(ev2))
+	}
+	for i := range ev1 {
+		if ev1[i] != ev2[i] {
+			t.Fatalf("trace event %d differs:\n  run1: %s\n  run2: %s", i, ev1[i], ev2[i])
+		}
+	}
+}

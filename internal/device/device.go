@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/trace"
 )
 
 // ChunkSize is the granularity of the sparse backing store.
@@ -37,6 +38,7 @@ type Stats struct {
 type Device struct {
 	clk   clock.Clock
 	costs *clock.Costs
+	tr    *trace.Tracer
 
 	mu       sync.Mutex
 	size     int64
@@ -61,6 +63,28 @@ func (d *Device) Stats() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.stats
+}
+
+// SetTracer attaches tr to the device; nil disables tracing. Wire it at
+// build time — it is not synchronized against in-flight IO.
+func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// traceSubmit records one queued command on the device track. now is the
+// submitting thread's virtual time, start/done come from the queue model,
+// and stall is extra delay imposed by an ordering constraint. qwait doubles
+// as the queue-depth signal: in the continuous queue model the backlog is
+// measured in time, not slots.
+func traceSubmit(tr *trace.Tracer, name string, now, start, done, stall time.Duration, n, off int64) {
+	tr.Range(trace.TrackDevice, name, start, done,
+		trace.I("bytes", n), trace.I("off", off))
+	tr.Observe("dev.qwait_ns", int64(start-now))
+	tr.Observe("dev.settle_ns", int64(done-now))
+	tr.Count("dev.submits", 1)
+	tr.Count("dev.bytes", n)
+	if stall > 0 {
+		tr.Observe("dev.order_stall_ns", int64(stall))
+		tr.Count("dev.order_stalls", 1)
+	}
 }
 
 func (d *Device) check(n int, off int64) error {
@@ -118,12 +142,16 @@ func (d *Device) SubmitWrite(p []byte, off int64) (time.Duration, error) {
 	d.copyIn(p, off)
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(p))
+	now := d.clk.Now()
 	start := d.nextFree
-	if now := d.clk.Now(); now > start {
+	if now > start {
 		start = now
 	}
 	d.nextFree = start + occupancy
 	done := d.nextFree + d.costs.DevWriteLatency
+	if d.tr != nil {
+		traceSubmit(d.tr, "dev.write", now, start, done, 0, int64(len(p)), off)
+	}
 	d.mu.Unlock()
 	return done, nil
 }
@@ -144,15 +172,21 @@ func (d *Device) SubmitWriteAfter(p []byte, off int64, after time.Duration) (tim
 	d.copyIn(p, off)
 	d.stats.Writes++
 	d.stats.BytesWritten += int64(len(p))
+	now := d.clk.Now()
 	start := d.nextFree
-	if now := d.clk.Now(); now > start {
+	if now > start {
 		start = now
 	}
+	var stall time.Duration
 	if after > start {
+		stall = after - start
 		start = after
 	}
 	d.nextFree = start + occupancy
 	done := d.nextFree + d.costs.DevWriteLatency
+	if d.tr != nil {
+		traceSubmit(d.tr, "dev.write_after", now, start, done, stall, int64(len(p)), off)
+	}
 	d.mu.Unlock()
 	return done, nil
 }
@@ -192,12 +226,16 @@ func (d *Device) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	}
 	d.stats.Writes++
 	d.stats.BytesWritten += total
+	now := d.clk.Now()
 	start := d.nextFree
-	if now := d.clk.Now(); now > start {
+	if now > start {
 		start = now
 	}
 	d.nextFree = start + occupancy
 	done := d.nextFree + d.costs.DevWriteLatency
+	if d.tr != nil {
+		traceSubmit(d.tr, "dev.writev", now, start, done, 0, total, off)
+	}
 	d.mu.Unlock()
 	return done, nil
 }
@@ -214,12 +252,16 @@ func (d *Device) SubmitRead(p []byte, off int64) (time.Duration, error) {
 	d.copyOut(p, off)
 	d.stats.Reads++
 	d.stats.BytesRead += int64(len(p))
+	now := d.clk.Now()
 	start := d.nextFree
-	if now := d.clk.Now(); now > start {
+	if now > start {
 		start = now
 	}
 	d.nextFree = start + occupancy
 	done := d.nextFree + d.costs.DevReadLatency
+	if d.tr != nil {
+		traceSubmit(d.tr, "dev.read", now, start, done, 0, int64(len(p)), off)
+	}
 	d.mu.Unlock()
 	return done, nil
 }
@@ -315,9 +357,14 @@ func (d *Device) copyOut(p []byte, off int64) {
 type Stripe struct {
 	clk   clock.Clock
 	costs *clock.Costs
+	tr    *trace.Tracer
 	devs  []*Device
 	unit  int64
 }
+
+// SetTracer attaches tr to the stripe; nil disables tracing. Member-device
+// submits issued through the stripe are recorded with their member index.
+func (s *Stripe) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // NewStripe builds a stripe set of n fresh devices of perDevSize bytes each.
 func NewStripe(clk clock.Clock, costs *clock.Costs, n int, unit, perDevSize int64) *Stripe {
@@ -451,15 +498,26 @@ func (s *Stripe) submitMemberAfter(e extent, after time.Duration) (time.Duration
 	d.copyIn(e.p, e.off)
 	d.stats.Writes++
 	d.stats.BytesWritten += e.size
+	now := s.clk.Now()
 	start := d.nextFree
-	if now := s.clk.Now(); now > start {
+	if now > start {
 		start = now
 	}
+	var stall time.Duration
 	if after > start {
+		stall = after - start
 		start = after
 	}
 	d.nextFree = start + occupancy
-	return d.nextFree + s.costs.DevWriteLatency, nil
+	done := d.nextFree + s.costs.DevWriteLatency
+	if s.tr != nil {
+		name := "dev.write"
+		if after > 0 {
+			name = "dev.write_after"
+		}
+		traceSubmit(s.tr, name, now, start, done, stall, e.size, e.off)
+	}
+	return done, nil
 }
 
 // SubmitWriteAfter queues a striped write whose member transfers may not
@@ -554,12 +612,17 @@ func (s *Stripe) submitMemberVec(dev int, vec [][]byte, off, size int64) (time.D
 	}
 	d.stats.Writes++
 	d.stats.BytesWritten += size
+	now := s.clk.Now()
 	start := d.nextFree
-	if now := s.clk.Now(); now > start {
+	if now > start {
 		start = now
 	}
 	d.nextFree = start + occupancy
-	return d.nextFree + s.costs.DevWriteLatency, nil
+	done := d.nextFree + s.costs.DevWriteLatency
+	if s.tr != nil {
+		traceSubmit(s.tr, "dev.writev", now, start, done, 0, size, off)
+	}
+	return done, nil
 }
 
 // SubmitRead queues a striped read, returning the completion time.
@@ -579,12 +642,16 @@ func (s *Stripe) SubmitRead(p []byte, off int64) (time.Duration, error) {
 		d.copyOut(e.p, e.off)
 		d.stats.Reads++
 		d.stats.BytesRead += e.size
+		now := s.clk.Now()
 		start := d.nextFree
-		if now := s.clk.Now(); now > start {
+		if now > start {
 			start = now
 		}
 		d.nextFree = start + occupancy
 		t := d.nextFree + s.costs.DevReadLatency
+		if s.tr != nil {
+			traceSubmit(s.tr, "dev.read", now, start, t, 0, e.size, e.off)
+		}
 		d.mu.Unlock()
 		if t > done {
 			done = t

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/trace"
 )
 
 // ErrPowerCut is the error every IO returns once the device has crashed.
@@ -116,6 +117,7 @@ type pendingWrite struct {
 type Dev struct {
 	inner Inner
 	clk   clock.Clock
+	tr    *trace.Tracer
 
 	mu      sync.Mutex
 	plan    Plan
@@ -176,6 +178,15 @@ func (d *Dev) Plan() Plan {
 // Inner returns the wrapped device, for stats or raw inspection.
 func (d *Dev) Inner() Inner { return d.inner }
 
+// SetTracer attaches tr; nil disables. Fault events (the cut, rollbacks,
+// tearing) land on the fault track, so a failing crash sweep replayed with
+// a tracer dumps the exact timeline that led to the cut.
+func (d *Dev) SetTracer(tr *trace.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tr = tr
+}
+
 // Reopen models plugging the machine back in: the device serves IO again
 // with whatever bytes survived the cut. The crash triggers disarm (rot
 // persists — it is a media property), and the submit counter keeps its
@@ -219,6 +230,13 @@ func (d *Dev) triggered(idx, off, total int64) bool {
 	return false
 }
 
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func flatten(vec [][]byte, n int64) []byte {
 	out := make([]byte, 0, n)
 	for _, b := range vec {
@@ -233,12 +251,24 @@ func (d *Dev) crashLocked(idx int64, vec [][]byte, off, total int64, after time.
 	now := d.clk.Now()
 	// Writes that finished by the cut instant are on the media for good.
 	d.settleLocked(now)
+	if d.tr != nil {
+		d.tr.Instant(trace.TrackFault, "powercut",
+			trace.I("seed", d.plan.Seed), trace.I("submit", idx),
+			trace.I("off", off), trace.I("bytes", total),
+			trace.I("torn", boolInt(d.plan.Torn)),
+			trace.I("pending", int64(len(d.pending))))
+	}
 	if d.plan.DropInFlight {
 		// The rest were still in member queues: power loss drops them.
 		// Pre-images are rolled back newest-first so overlapping writes
 		// unwind correctly.
 		for i := len(d.pending) - 1; i >= 0; i-- {
 			d.inner.PokeAt(d.pending[i].pre, d.pending[i].off)
+			if d.tr != nil {
+				d.tr.Instant(trace.TrackFault, "rollback",
+					trace.I("off", d.pending[i].off),
+					trace.I("bytes", int64(len(d.pending[i].pre))))
+			}
 		}
 		if after > now {
 			// An ordered submit whose constraint lies past the cut instant
@@ -261,6 +291,10 @@ func (d *Dev) crashLocked(idx int64, vec [][]byte, off, total int64, after time.
 		}
 		if landed > 0 {
 			d.inner.PokeAt(flatten(vec, total)[:landed], off)
+		}
+		if d.tr != nil {
+			d.tr.Instant(trace.TrackFault, "torn",
+				trace.I("off", off), trace.I("landed", landed), trace.I("of", total))
 		}
 	}
 	d.crashed = true

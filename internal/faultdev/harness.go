@@ -16,6 +16,7 @@ import (
 	"aurora/internal/clock"
 	"aurora/internal/device"
 	"aurora/internal/objstore"
+	"aurora/internal/trace"
 )
 
 // Workload drives a store deterministically. It must route every
@@ -49,6 +50,7 @@ type Ctl struct {
 	Dev   *Dev
 	Clk   *clock.Virtual
 	Costs *clock.Costs
+	Tr    *trace.Tracer // non-nil only on traced failure replays
 
 	points []commitPoint
 }
@@ -137,17 +139,26 @@ func (h *Harness) perDev() int64 {
 // newRun builds a fresh world (stripe under faultdev), formats the store
 // fault-free, records the formatted image as golden point zero, then arms
 // the plan. Crashes during mkfs are out of scope: an interrupted format
-// has no committed state to recover.
-func (h *Harness) newRun(plan Plan) (*Ctl, error) {
+// has no committed state to recover. With traced set, a tracer keyed to
+// the run's virtual clock is wired through the stripe, the fault device,
+// and the store, so the run produces a full event timeline.
+func (h *Harness) newRun(plan Plan, traced bool) (*Ctl, error) {
 	clk := clock.NewVirtual()
 	costs := clock.DefaultCosts()
 	stripe := device.NewStripe(clk, costs, 4, 64<<10, h.perDev())
 	fd := New(stripe, clk, Plan{CutAtSubmit: -1})
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New(clk)
+		stripe.SetTracer(tr)
+		fd.SetTracer(tr)
+	}
 	s, err := objstore.Format(fd, clk, costs)
 	if err != nil {
 		return nil, fmt.Errorf("format: %w", err)
 	}
-	ctl := &Ctl{Store: s, Dev: fd, Clk: clk, Costs: costs}
+	s.SetTracer(tr)
+	ctl := &Ctl{Store: s, Dev: fd, Clk: clk, Costs: costs, Tr: tr}
 	ctl.record()
 	fd.Arm(plan)
 	return ctl, nil
@@ -164,7 +175,7 @@ type Report struct {
 // Explore runs the baseline, then sweeps a crash at every post-format
 // submit index. Failures are reported on t with the seed and crash index.
 func (h *Harness) Explore(t TB) Report {
-	base, err := h.newRun(Plan{Seed: h.Seed, CutAtSubmit: -1})
+	base, err := h.newRun(Plan{Seed: h.Seed, CutAtSubmit: -1}, false)
 	if err != nil {
 		t.Fatalf("harness baseline: %v", err)
 		return Report{}
@@ -188,7 +199,7 @@ func (h *Harness) Explore(t TB) Report {
 // Replay re-runs the workload crashing at submit index k and verifies
 // recovery, for reproducing a sweep failure in isolation.
 func (h *Harness) Replay(t TB, k int64) {
-	base, err := h.newRun(Plan{Seed: h.Seed, CutAtSubmit: -1})
+	base, err := h.newRun(Plan{Seed: h.Seed, CutAtSubmit: -1}, false)
 	if err != nil {
 		t.Fatalf("harness baseline: %v", err)
 		return
@@ -202,8 +213,25 @@ func (h *Harness) Replay(t TB, k int64) {
 	}
 }
 
-// replayOne runs one crashing replay and verifies the recovered store.
+// replayOne runs one crashing replay and verifies the recovered store. On
+// failure it re-runs the identical deterministic plan with a tracer wired
+// through the whole stack and returns the traced failure, so every sweep
+// error ships its own flight recording of the virtual timeline.
 func (h *Harness) replayOne(points []commitPoint, k int64) error {
+	err := h.replayAttempt(points, k, false)
+	if err == nil {
+		return nil
+	}
+	if terr := h.replayAttempt(points, k, true); terr != nil {
+		return terr
+	}
+	// The traced rerun passed — replay nondeterminism, which is itself a
+	// bug. Report the original failure, flagged.
+	return fmt.Errorf("%v (NOT reproduced by traced rerun: replay is nondeterministic)", err)
+}
+
+// replayAttempt runs one crashing replay and verifies the recovered store.
+func (h *Harness) replayAttempt(points []commitPoint, k int64, traced bool) error {
 	fail := func(format string, args ...any) error {
 		return fmt.Errorf("[seed=%d crash-index=%d torn=%v dropInFlight=%v] %s",
 			h.Seed, k, h.Torn, h.DropInFlight, fmt.Sprintf(format, args...))
@@ -213,9 +241,16 @@ func (h *Harness) replayOne(points []commitPoint, k int64) error {
 		CutAtSubmit:  k,
 		Torn:         h.Torn,
 		DropInFlight: h.DropInFlight,
-	})
+	}, traced)
 	if err != nil {
 		return fail("world: %v", err)
+	}
+	if ctl.Tr != nil {
+		plain := fail
+		fail = func(format string, args ...any) error {
+			return fmt.Errorf("%v\nvirtual timeline (last 40 events):\n%s",
+				plain(format, args...), ctl.Tr.TimelineTail(40))
+		}
 	}
 	werr := h.Workload(ctl)
 	if werr == nil {
@@ -231,6 +266,7 @@ func (h *Harness) replayOne(points []commitPoint, k int64) error {
 	if err != nil {
 		return fail("recovery failed: %v", err)
 	}
+	s2.SetTracer(ctl.Tr)
 	if rep := s2.Fsck(); !rep.OK() {
 		return fail("fsck found %d problems after recovery: %v", len(rep.Problems), rep.Problems)
 	}

@@ -5,6 +5,8 @@ import (
 	"hash/crc32"
 	"sort"
 	"time"
+
+	"aurora/internal/trace"
 )
 
 // Batched page writes: the checkpoint flush pipeline's entry point into the
@@ -69,6 +71,13 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 		}
 	}
 
+	var batchSpan, phaseSpan trace.Span
+	if s.tr != nil {
+		batchSpan = s.tr.Begin(trace.TrackObjstore, "writepages",
+			trace.I("oid", int64(oid)), trace.I("pages", int64(len(writes))))
+		phaseSpan = batchSpan.Child("reserve")
+	}
+
 	// Phase 1: reserve blocks and chunks under the lock.
 	s.mu.Lock()
 	o, err := s.lookup(oid)
@@ -103,6 +112,10 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 		addrs[i] = a
 	}
 	s.mu.Unlock()
+	if s.tr != nil {
+		phaseSpan.End()
+		phaseSpan = batchSpan.Child("transfer")
+	}
 
 	// Phase 2: device transfers, outside the store lock. The blocks are
 	// fresh, so nothing can read them until phase 3 publishes — which also
@@ -156,6 +169,10 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 	if err := submit(run, len(order)); err != nil {
 		return err
 	}
+	if s.tr != nil {
+		phaseSpan.End()
+		phaseSpan = batchSpan.Child("publish")
+	}
 
 	// Phase 3: publish.
 	s.mu.Lock()
@@ -176,6 +193,11 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 	}
 	s.stats.DataBytes += int64(len(writes)) * BlockSize
 	s.mu.Unlock()
+	if s.tr != nil {
+		phaseSpan.End()
+		batchSpan.End()
+		s.tr.Count("objstore.data_bytes", int64(len(writes))*BlockSize)
+	}
 	return nil
 }
 

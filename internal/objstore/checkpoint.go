@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/trace"
 )
 
 // Checkpointing: the commit path, crash recovery, and read-only views of
@@ -36,6 +37,8 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	sw := clock.StartStopwatch(s.clk)
 	cur := s.curEpoch()
 	st := CheckpointStats{Epoch: cur}
+	commitSpan := s.tr.Begin(trace.TrackObjstore, "commit")
+	metaSpan := commitSpan.Child("meta")
 
 	// 1. Flush dirty chunks and records of dirty objects, in OID (and
 	// chunk-index) order: a given logical state must always produce the
@@ -94,6 +97,8 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 		st.MetaBytes += int64(len(rec))
 	}
 	s.deleted = make(map[OID]bool)
+	metaSpan.End(trace.I("dirty_objects", int64(st.DirtyObjects)), trace.I("meta_bytes", st.MetaBytes))
+	idxSpan := commitSpan.Child("index")
 
 	// 2. Build and write the index. The index's own run must be allocated
 	// BEFORE the final encode: allocation can pop the freelist and advance
@@ -127,6 +132,8 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 		s.pendingDurable = done
 	}
 	st.MetaBytes += idxLen
+	idxSpan.End(trace.I("index_bytes", idxLen))
+	superSpan := commitSpan.Child("super")
 
 	// 3. Commit: the superblock is submitted with an ordering constraint —
 	// its transfer may not begin before every interval write has completed.
@@ -142,6 +149,7 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	}
 	s.superSlot = 1 - s.superSlot
 	s.pendingDurable = sbDone
+	superSpan.End(trace.I("epoch", int64(cur)))
 
 	// 4. The committed checkpoint joins retained history. Its index
 	// blocks are deliberately NOT deadlisted: their lifetime is implied
@@ -174,6 +182,16 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 
 	st.DurableAt = sbDone
 	st.CommitCharged = sw.Elapsed()
+	if s.tr != nil {
+		// The commit window stretches from submission to the superblock's
+		// durability point — the drain that overlaps resumed execution.
+		s.tr.Range(trace.TrackObjstore, "commit.window", commitSpan.Start(), sbDone,
+			trace.I("epoch", int64(cur)))
+		s.tr.Gauge("objstore.releaseq", int64(len(s.releasing))+int64(len(s.releaseQ)))
+		s.tr.Count("objstore.commits", 1)
+		s.tr.Count("objstore.meta_bytes", st.MetaBytes)
+	}
+	commitSpan.End(trace.I("meta_bytes", st.MetaBytes))
 	return st, nil
 }
 
@@ -422,8 +440,15 @@ func (s *Store) DiffPages(oid OID, old Epoch) ([]int64, error) {
 			cis[ci] = true
 		}
 	}
-	var out []int64
+	// Walk chunks in sorted order: the per-chunk loadChunk reads must hit
+	// the device (and the trace) in a deterministic sequence.
+	cidxs := make([]int64, 0, len(cis))
 	for ci := range cis {
+		cidxs = append(cidxs, ci)
+	}
+	sortInt64s(cidxs)
+	var out []int64
+	for _, ci := range cidxs {
 		curC, err := s.loadChunk(cur, ci*ChunkFanout, false)
 		if err != nil {
 			s.mu.Unlock()

@@ -32,6 +32,7 @@ import (
 
 	"aurora/internal/clock"
 	"aurora/internal/mem"
+	"aurora/internal/trace"
 )
 
 // OID names an object in the store.
@@ -152,6 +153,7 @@ type Store struct {
 	dev   BlockDev
 	clk   clock.Clock
 	costs *clock.Costs
+	tr    *trace.Tracer
 
 	epoch    Epoch // last committed epoch
 	nextOID  OID
@@ -250,6 +252,10 @@ func Recover(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) 
 	s.epoch = sb.epoch
 	return s, nil
 }
+
+// SetTracer attaches tr to the store; nil disables tracing. Wire it at
+// build time — it is not synchronized against in-flight operations.
+func (s *Store) SetTracer(tr *trace.Tracer) { s.tr = tr }
 
 // ReopenAfterCrash abandons this store's in-memory state and re-runs crash
 // recovery against the same device — what a reboot does. The receiver must

@@ -10,6 +10,7 @@ import (
 	"aurora/internal/mem"
 	"aurora/internal/objstore"
 	"aurora/internal/rec"
+	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
 
@@ -54,6 +55,15 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 		}
 	}
 
+	// The span tree mirrors the stats: the four stop children (quiesce,
+	// serialize, writeback, shadow) open and close back-to-back with no
+	// virtual time between them, so their durations tile the stop window
+	// exactly — summing them reproduces StopTime, which is what the trace
+	// acceptance test asserts.
+	ckptSpan := o.Tracer.Begin(trace.TrackSLS, "checkpoint", trace.I("kind", int64(kind)))
+	stopSpan := ckptSpan.Child("stop")
+	quiesceSpan := stopSpan.Child("quiesce")
+
 	stop := clock.StartStopwatch(o.Clk)
 	o.K.Quiesce()
 	o.Clk.Advance(o.Costs.CheckpointFloor)
@@ -97,6 +107,8 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	}
 
 	// 3. Serialize POSIX objects.
+	quiesceSpan.End()
+	serSpan := stopSpan.Child("serialize")
 	osSW := clock.StartStopwatch(o.Clk)
 	ser := newSerializer(g)
 	procs := g.Procs()
@@ -128,6 +140,8 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	}
 	st.OSTime = osSW.Elapsed()
 	st.Objects = ser.count
+	serSpan.End(trace.I("objects", int64(st.Objects)))
+	wbSpan := stopSpan.Child("writeback")
 
 	// 3b. Shared file mappings: the Aurora file system provides COW for
 	// file pages (§6), so vnode objects are never shadowed — instead
@@ -140,6 +154,8 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	}
 
 	// 4. System shadowing.
+	wbSpan.End()
+	shadowSpan := stopSpan.Child("shadow")
 	memSW := clock.StartStopwatch(o.Clk)
 	var backrefs []vm.BackRef
 	for _, seg := range o.K.ShmSegments() {
@@ -155,6 +171,8 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	st.MemTime = memSW.Elapsed()
 
 	o.K.Resume()
+	shadowSpan.End(trace.I("dirty_pages", st.DirtyPages))
+	stopSpan.End()
 	st.StopTime = stop.Elapsed()
 
 	if kind == CkptMemOnly {
@@ -163,6 +181,7 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 		g.pending = pairs
 		g.lastCkpt = o.Clk.Now()
 		g.ckpts++
+		ckptSpan.End()
 		return st, nil
 	}
 
@@ -172,10 +191,13 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	plan := newFlushPlan()
 	g.planPairs(plan, pairs, kind)
 	g.planCold(plan, ser)
+	flushSpan := ckptSpan.Child("flush")
 	res, err := g.runFlush(plan)
 	if err != nil {
 		return st, err
 	}
+	flushSpan.End(trace.I("bytes", res.bytes), trace.I("workers", int64(res.workers)),
+		trace.I("max_depth", int64(res.maxDepth)))
 	st.FlushBytes = res.bytes
 	st.EncodeTime = res.encode
 	st.WriteTime = res.write
@@ -207,6 +229,16 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	g.lastEpoch = cst.Epoch
 	g.lastCkpt = o.Clk.Now()
 	g.ckpts++
+	if tr := o.Tracer; tr != nil {
+		// The drain window: submitted writes settling while the
+		// application already runs — the overlap the paper claims.
+		tr.Range(trace.TrackSLS, "durable.window", o.Clk.Now(), st.DurableAt,
+			trace.I("epoch", int64(st.Epoch)))
+		tr.Count("sls.checkpoints", 1)
+		tr.Count("sls.dirty_pages", st.DirtyPages)
+		tr.Count("sls.flush_bytes", st.FlushBytes)
+	}
+	ckptSpan.End(trace.I("epoch", int64(st.Epoch)))
 
 	if g.RetainEpochs > 0 && int(cst.Epoch) > g.RetainEpochs {
 		o.Store.ReleaseCheckpointsBefore(cst.Epoch - objstore.Epoch(g.RetainEpochs) + 1)

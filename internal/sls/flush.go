@@ -9,6 +9,7 @@ import (
 
 	"aurora/internal/mem"
 	"aurora/internal/objstore"
+	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
 
@@ -169,6 +170,7 @@ func (g *Group) runFlush(pl *flushPlan) (flushResult, error) {
 		workers = len(pl.jobs)
 	}
 	res.workers = workers
+	tr := g.o.Tracer // nil disables; Span methods no-op on the zero Span
 
 	var (
 		bytes, encodeNS, writeNS atomic.Int64
@@ -200,19 +202,29 @@ func (g *Group) runFlush(pl *flushPlan) (flushResult, error) {
 				if failed() {
 					continue // drain remaining jobs after an error
 				}
+				// Job spans are zero-width in virtual time — encode and
+				// submit burn host CPU only — so the host costs ride as
+				// args while the virtual timeline stays authoritative.
+				jobSpan := tr.Begin(trace.TrackFlush, "flush.job",
+					trace.I("oid", int64(j.toid)))
 				t0 := time.Now()
 				writes := encodeJob(j)
-				encodeNS.Add(int64(time.Since(t0)))
+				encNS := int64(time.Since(t0))
+				encodeNS.Add(encNS)
 				if len(writes) == 0 {
+					jobSpan.End(trace.I("pages", 0))
 					continue
 				}
 				t0 = time.Now()
 				n, err := g.o.Store.WritePages(j.toid, writes)
-				writeNS.Add(int64(time.Since(t0)))
+				wrNS := int64(time.Since(t0))
+				writeNS.Add(wrNS)
 				bytes.Add(n)
 				if err != nil {
 					fail(err)
 				}
+				jobSpan.End(trace.I("pages", int64(len(writes))), trace.I("bytes", n),
+					trace.I("encode_host_ns", encNS), trace.I("write_host_ns", wrNS))
 			}
 		}()
 	}
@@ -223,6 +235,9 @@ func (g *Group) runFlush(pl *flushPlan) (flushResult, error) {
 			if d <= m || maxDepth.CompareAndSwap(m, d) {
 				break
 			}
+		}
+		if tr != nil {
+			tr.Observe("flush.queue_depth", d)
 		}
 		jobs <- j
 	}

@@ -12,8 +12,9 @@ import (
 // incremental deltas, a mem-only interval (trapped transients), a fork
 // mid-interval, and a final crash — against a fresh world with the given
 // flush-worker count. It returns the restored memory images of every
-// process concatenated, plus the total bytes the flush pool submitted.
-func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
+// process concatenated, plus the total bytes and dirty pages the
+// checkpoints reported.
+func runFlushWorkload(t *testing.T, workers int) ([]byte, int64, int64) {
 	t.Helper()
 	w := newWorld(t)
 	p := w.k.NewProc("app")
@@ -40,7 +41,7 @@ func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
 			}
 		}
 	}
-	var flushed int64
+	var flushed, dirty int64
 
 	// Round 1: full image of 600 dirty pages.
 	write(p, 0, 600, 1)
@@ -49,6 +50,7 @@ func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
 		t.Fatal(err)
 	}
 	flushed += st.FlushBytes
+	dirty += st.DirtyPages
 
 	// Round 2: a mem-only interval freezes a transient full of dirty
 	// pages; round 3 overwrites part of that range, then a committing
@@ -64,6 +66,10 @@ func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
 		t.Fatal(err)
 	}
 	flushed += st.FlushBytes
+	dirty += st.DirtyPages
+	if workers > 1 && st.MaxQueueDepth < 1 {
+		t.Fatalf("parallel flush reported MaxQueueDepth %d", st.MaxQueueDepth)
+	}
 
 	// Round 4: fork mid-interval (the trapped-transient path again, via
 	// the fork's interposed shadows), then diverge parent and child.
@@ -76,6 +82,7 @@ func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
 		t.Fatal(err)
 	}
 	flushed += st.FlushBytes
+	dirty += st.DirtyPages
 
 	// Crash and restore; collect every process's image.
 	w2 := w.crash(t)
@@ -103,15 +110,17 @@ func runFlushWorkload(t *testing.T, workers int) ([]byte, int64) {
 			t.Fatalf("restored group lacks pid %d", pid)
 		}
 	}
-	return img, flushed
+	return img, flushed, dirty
 }
 
 // TestFlushSerialParallelIdentical is the pipeline's core regression: the
 // serial path (FlushWorkers=1) and the parallel pool must produce
-// byte-identical restored memory images, and submit the same byte count.
+// byte-identical restored memory images and report identical page and byte
+// totals — the aggregation is all atomics, and this (run under -race in
+// CI) is the proof that no update is lost when workers race.
 func TestFlushSerialParallelIdentical(t *testing.T) {
-	serial, serialBytes := runFlushWorkload(t, 1)
-	parallel, parallelBytes := runFlushWorkload(t, 8)
+	serial, serialBytes, serialPages := runFlushWorkload(t, 1)
+	parallel, parallelBytes, parallelPages := runFlushWorkload(t, 8)
 	if !bytes.Equal(serial, parallel) {
 		for i := range serial {
 			if serial[i] != parallel[i] {
@@ -122,6 +131,9 @@ func TestFlushSerialParallelIdentical(t *testing.T) {
 	}
 	if serialBytes != parallelBytes {
 		t.Fatalf("flush bytes diverge: serial %d parallel %d", serialBytes, parallelBytes)
+	}
+	if serialPages != parallelPages {
+		t.Fatalf("dirty page totals diverge: serial %d parallel %d", serialPages, parallelPages)
 	}
 }
 

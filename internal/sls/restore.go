@@ -2,6 +2,7 @@ package sls
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"aurora/internal/clock"
@@ -9,6 +10,7 @@ import (
 	"aurora/internal/mem"
 	"aurora/internal/objstore"
 	"aurora/internal/rec"
+	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
 
@@ -45,16 +47,37 @@ const (
 	RestoreLazy
 )
 
-// storePager lazily fills VM pages from a store object.
+// storePager lazily fills VM pages from a store object. It is the single
+// choke point for demand paging: every lazy-restore and swap-in fault lands
+// in PageIn, so this is where the per-group page-in accounting lives —
+// RestoreStats is a point-in-time report and cannot see faults served after
+// RestoreGroup returns.
 type storePager struct {
-	src Source
-	oid objstore.OID
+	src  Source
+	oid  objstore.OID
+	g    *Group // page-in accounting; nil disables
+	swap bool   // counts as swap-in rather than lazy-restore traffic
 }
 
 func (sp *storePager) PageIn(pg int64, p *mem.Page) error {
 	_, err := sp.src.ReadPage(sp.oid, pg, p.Data)
 	if err == nil {
 		p.Backed = true
+		if g := sp.g; g != nil {
+			name := "sls.pagein"
+			if sp.swap {
+				g.swapFaults.Add(1)
+				g.swapBytes.Add(int64(len(p.Data)))
+				name = "sls.swapin"
+			} else {
+				g.lazyFaults.Add(1)
+				g.lazyBytes.Add(int64(len(p.Data)))
+			}
+			if tr := g.o.Tracer; tr != nil {
+				tr.Count(name+".faults", 1)
+				tr.Count(name+".bytes", int64(len(p.Data)))
+			}
+		}
 	}
 	return err
 }
@@ -79,6 +102,8 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 	sw := clock.StartStopwatch(o.Clk)
 	var st RestoreStats
 	st.Lazy = mode == RestoreLazy
+	restSpan := o.Tracer.Begin(trace.TrackSLS, "restore",
+		trace.S("group", name), trace.I("lazy", boolInt(st.Lazy)))
 
 	// 1. Manifest -> group record.
 	groupOID, err := o.findGroupOID(src, name)
@@ -107,8 +132,13 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 		localPID  kern.PID
 		parentPID kern.PID
 	}
+	// Every count-prefixed loop below guards on d.Err(): a corrupt count
+	// field decodes as garbage and must not drive a multi-gigabyte append
+	// loop off a record a few hundred bytes long. Once the decoder's
+	// sticky error trips, the loop stops and the check after the loops
+	// reports it.
 	var procEnts []procEnt
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		procEnts = append(procEnts, procEnt{
 			oid:       objstore.OID(d.U64()),
 			localPID:  kern.PID(d.U32()),
@@ -117,10 +147,10 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 	}
 	type ephEnt struct{ pid, parent kern.PID }
 	var ephs []ephEnt
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		ephs = append(ephs, ephEnt{kern.PID(d.U32()), kern.PID(d.U32())})
 	}
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		m := memMeta{
 			oid:        objstore.OID(d.U64()),
 			size:       d.I64(),
@@ -130,10 +160,10 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 		r.memMetas = append(r.memMetas, m)
 	}
 	var shmOIDs []objstore.OID
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		shmOIDs = append(shmOIDs, objstore.OID(d.U64()))
 	}
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		jn := d.Str()
 		g.journals[jn] = objstore.OID(d.U64())
 	}
@@ -183,9 +213,15 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 		}
 	}
 	// Restore-notification signal: applications fix up runtime state in
-	// an Aurora-specific handler (§3).
-	for _, p := range byPID {
-		p.QueueSignal(kern.SIGRESTORE)
+	// an Aurora-specific handler (§3). Delivered in PID order — map
+	// iteration order would make replayed restores diverge.
+	pids := make([]kern.PID, 0, len(byPID))
+	for pid := range byPID {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		byPID[pid].QueueSignal(kern.SIGRESTORE)
 	}
 
 	// 6. Bookkeeping so the group continues checkpointing.
@@ -200,7 +236,16 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 	st.Objects = len(r.liveOIDs)
 	st.Epoch = o.Store.Epoch()
 	st.Time = sw.Elapsed()
+	restSpan.End(trace.I("procs", int64(st.Procs)), trace.I("objects", int64(st.Objects)),
+		trace.I("pages_eager", st.PagesEager))
 	return g, st, nil
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // ManifestGroups lists the group names recorded in a store's manifest —
@@ -233,13 +278,16 @@ func (o *Orchestrator) findGroupOID(src Source, name string) (objstore.OID, erro
 	if err != nil {
 		return 0, err
 	}
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		_ = d.U64() // group id (historical)
 		gname := d.Str()
 		oid := objstore.OID(d.U64())
-		if gname == name {
+		if gname == name && d.Err() == nil {
 			return oid, nil
 		}
+	}
+	if err := d.Err(); err != nil {
+		return 0, err
 	}
 	return 0, fmt.Errorf("%w: %q", ErrNoGroup, name)
 }
@@ -321,7 +369,7 @@ func (r *restorer) memObject(oid objstore.OID) (*vm.Object, error) {
 		backer = b
 	}
 
-	obj := r.o.K.VM.RestoreObject(vm.Anonymous, meta.size, &storePager{src: r.src, oid: oid}, backer)
+	obj := r.o.K.VM.RestoreObject(vm.Anonymous, meta.size, &storePager{src: r.src, oid: oid, g: r.g}, backer)
 	r.memObjs[oid] = obj
 	r.liveOIDs[oid] = true
 	r.g.oidOf[obj] = oid
@@ -396,7 +444,7 @@ func (r *restorer) proc(oid objstore.OID) (*kern.Proc, error) {
 	p := r.o.K.RestoreProc(name, localPID, pgid, sid, r.g.ID)
 	r.liveOIDs[oid] = true
 
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		tname := d.Str()
 		ltid := kern.PID(d.U32())
 		sigmask := d.U64()
@@ -404,12 +452,12 @@ func (r *restorer) proc(oid objstore.OID) (*kern.Proc, error) {
 		cpu := cpuDecode(d)
 		p.RestoreThread(tname, ltid, cpu, sigmask, prio)
 	}
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		p.QueueSignal(kern.Signal(d.U32()))
 	}
 
 	// Descriptor table.
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		fd := int(d.U32())
 		foid := objstore.OID(d.U64())
 		f, err := r.file(foid)
@@ -420,7 +468,7 @@ func (r *restorer) proc(oid objstore.OID) (*kern.Proc, error) {
 	}
 
 	// Address space.
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		if err := r.entry(p, d.Bytes()); err != nil {
 			return nil, err
 		}
@@ -442,6 +490,11 @@ func (r *restorer) entry(p *kern.Proc, raw []byte) error {
 	shared := d.Bool()
 	kind := d.U8()
 	length := int64(end - start)
+	// The raw decoder has no CRC; a truncated entry blob must fail here,
+	// not dispatch on a garbage kind byte.
+	if err := d.Err(); err != nil {
+		return err
+	}
 
 	switch kind {
 	case entVDSO:
@@ -612,11 +665,11 @@ func (r *restorer) socket(oid objstore.OID) (*kern.Socket, error) {
 	r.g.oidOf[s] = oid
 
 	// Buffered messages with in-flight descriptors.
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		data := d.Bytes()
 		from := d.Str()
 		var files []*kern.File
-		for j, fn := 0, int(d.U32()); j < fn; j++ {
+		for j, fn := 0, int(d.U32()); j < fn && d.Err() == nil; j++ {
 			foid := objstore.OID(d.U64())
 			f, err := r.file(foid)
 			if err != nil {
@@ -691,7 +744,7 @@ func (r *restorer) kqueue(oid objstore.OID) (*kern.Kqueue, error) {
 		return nil, err
 	}
 	var events []kern.Kevent
-	for i, n := 0, int(d.U32()); i < n; i++ {
+	for i, n := 0, int(d.U32()); i < n && d.Err() == nil; i++ {
 		events = append(events, kern.Kevent{
 			Ident:  d.U64(),
 			Filter: kern.Filter(int16(d.U16())),

@@ -1,0 +1,133 @@
+package sls
+
+import (
+	"testing"
+
+	"aurora/internal/kern"
+	"aurora/internal/objstore"
+	"aurora/internal/vm"
+)
+
+// corruptSource wraps a restore Source and damages one object's record.
+type corruptSource struct {
+	Source
+	oid  objstore.OID
+	mode string
+}
+
+func (c corruptSource) GetRecord(oid objstore.OID) ([]byte, error) {
+	raw, err := c.Source.GetRecord(oid)
+	if err != nil || oid != c.oid {
+		return raw, err
+	}
+	switch c.mode {
+	case "truncated":
+		return raw[:len(raw)/2], nil
+	case "tiny":
+		if len(raw) > 3 {
+			return raw[:3], nil
+		}
+		return nil, nil
+	case "garbage":
+		g := make([]byte, len(raw))
+		for i := range g {
+			g[i] = byte(0xA5 ^ i)
+		}
+		return g, nil
+	case "empty":
+		return nil, nil
+	}
+	return raw, nil
+}
+
+// TestRestoreCorruptRecords feeds restore a checkpoint in which one record
+// at a time — covering every serialized kernel object kind — is truncated,
+// garbled, or emptied. Every case must come back as an error from
+// RestoreGroup, never a panic or a hang: a corrupt count field must not
+// drive a huge allocation loop, and a short buffer must not index past its
+// end.
+func TestRestoreCorruptRecords(t *testing.T) {
+	w := newWorld(t)
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	if err := g.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+
+	// One of everything restore knows how to decode.
+	va, err := p.Mmap(1<<20, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.WriteMem(va, []byte("state"))
+	if fd, err := p.Open("/config", kern.ORead|kern.OWrite, true); err != nil {
+		t.Fatal(err)
+	} else {
+		p.Write(fd, []byte("file body"))
+	}
+	if _, _, err := p.Pipe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Socket(kern.KindSocketUDP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ShmOpen("/seg", 1<<16); err != nil {
+		t.Fatal(err)
+	}
+	kq, err := p.Kqueue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.KeventAdd(kq, kern.Kevent{Ident: 1, Filter: kern.FilterUser})
+	if _, _, err := p.OpenPTY(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Map each serialized kind to the OIDs holding it.
+	kinds := map[uint16]string{
+		UTGroup:    "group",
+		UTProc:     "proc",
+		UTFileDesc: "file",
+		UTPipe:     "pipe",
+		UTSocket:   "socket",
+		UTShm:      "shm",
+		UTKqueue:   "kqueue",
+		UTPTY:      "pty",
+	}
+	targets := map[string]objstore.OID{}
+	for _, oid := range w.store.Objects() {
+		ut, err := w.store.UType(oid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name, ok := kinds[ut]; ok {
+			if _, seen := targets[name]; !seen {
+				targets[name] = oid
+			}
+		}
+	}
+	for _, name := range []string{"group", "proc", "file", "pipe", "socket", "shm", "kqueue", "pty"} {
+		if _, ok := targets[name]; !ok {
+			t.Fatalf("checkpoint wrote no %s record", name)
+		}
+	}
+
+	for name, oid := range targets {
+		for _, mode := range []string{"truncated", "tiny", "garbage", "empty"} {
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				w2 := w.crash(t)
+				src := corruptSource{Source: w2.store, oid: oid, mode: mode}
+				if _, _, err := w2.o.RestoreGroup("app", src, RestoreFull, true); err == nil {
+					t.Fatalf("restore with %s %s record succeeded, want error", mode, name)
+				}
+			})
+		}
+	}
+}

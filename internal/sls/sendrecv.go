@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"aurora/internal/objstore"
@@ -73,14 +74,20 @@ func (g *Group) send(w io.Writer, since objstore.Epoch) error {
 		return err
 	}
 
-	// Group record itself plus every object it referenced last epoch.
+	// Group record itself plus every object it referenced last epoch, in
+	// ascending-OID order: the stream must be byte-identical across runs
+	// of the same state (map iteration order would shuffle the items and
+	// break stream-level determinism checks and dedup on the receive side).
 	oids := make([]objstore.OID, 0, len(g.prevLive)+1)
 	oids = append(oids, g.oid)
+	rest := make([]objstore.OID, 0, len(g.prevLive))
 	for oid := range g.prevLive {
 		if oid != g.oid {
-			oids = append(oids, oid)
+			rest = append(rest, oid)
 		}
 	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	oids = append(oids, rest...)
 	for _, oid := range oids {
 		if !g.o.Store.Exists(oid) {
 			continue

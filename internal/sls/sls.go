@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aurora/internal/clock"
 	"aurora/internal/kern"
 	"aurora/internal/objstore"
+	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
 
@@ -105,6 +107,11 @@ type Orchestrator struct {
 	Store *objstore.Store
 	Clk   clock.Clock
 	Costs *clock.Costs
+	// Tracer, when non-nil, records checkpoint/restore/flush spans and
+	// page-in counters. Wire it before the first checkpoint (typically
+	// together with Store.SetTracer and the device's SetTracer so all
+	// layers share one timeline).
+	Tracer *trace.Tracer
 
 	mu        sync.Mutex
 	groups    map[uint64]*Group
@@ -195,6 +202,29 @@ type Group struct {
 
 	// RetainEpochs bounds on-disk history; 0 keeps everything.
 	RetainEpochs int
+
+	// Lazy-restore and swap page-in traffic served by this group's pagers
+	// after RestoreGroup (or a swap-out) returned. RestoreStats is a
+	// point-in-time report and cannot see these; they accumulate here
+	// (atomics — faults arrive from whatever goroutine runs the process)
+	// and are mirrored into the tracer's counters when one is wired.
+	lazyFaults atomic.Int64
+	lazyBytes  atomic.Int64
+	swapFaults atomic.Int64
+	swapBytes  atomic.Int64
+}
+
+// LazyPageIns reports the faults served and bytes paged in by lazy-restore
+// pagers since the group was created — traffic that arrives after
+// RestoreGroup returns and is invisible to RestoreStats.
+func (g *Group) LazyPageIns() (faults, bytes int64) {
+	return g.lazyFaults.Load(), g.lazyBytes.Load()
+}
+
+// SwapPageIns reports faults served and bytes paged in from swapped-out
+// objects (sls_mctl swap path).
+func (g *Group) SwapPageIns() (faults, bytes int64) {
+	return g.swapFaults.Load(), g.swapBytes.Load()
 }
 
 // CreateGroup makes an empty consistency group.

@@ -18,7 +18,7 @@ func (g *Group) installPager(obj *vm.Object, oid objstore.OID) {
 	if obj.Pager() != nil {
 		return
 	}
-	obj.SetPager(&storePager{src: g.o.Store, oid: oid})
+	obj.SetPager(&storePager{src: g.o.Store, oid: oid, g: g, swap: true})
 }
 
 // EvictStats reports one eviction pass.

@@ -1,0 +1,414 @@
+// Package trace is the observability substrate of the Aurora reproduction:
+// a low-overhead tracing and metrics layer keyed to the simulated virtual
+// clock. Subsystems annotate their work with spans (parent/child intervals
+// of virtual time), instant events, monotonic counters, and log-bucketed
+// histograms; the collected timeline exports as Chrome trace-event JSON
+// (chrome://tracing / Perfetto loadable) and as a text rollup with
+// p50/p95/p99 summaries.
+//
+// Every entry point is safe on a nil *Tracer and returns immediately, so a
+// subsystem holds a plain pointer and the disabled path costs exactly one
+// pointer check. Hot paths that would compute arguments before the call
+// guard with `if tr != nil { ... }` so the disabled cost stays at that one
+// branch. The enabled path serializes on one mutex — tracing is for
+// diagnosis, not for the benchmarked configuration.
+//
+// Timestamps are virtual: spans measure simulated time, which is what the
+// paper's tables report. Stages that burn host CPU but no virtual time
+// (e.g. the flush pipeline's encode stage) appear as zero-width spans
+// carrying their host-time cost in args — the virtual timeline stays the
+// single source of truth for durations.
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aurora/internal/clock"
+)
+
+// Track is the timeline lane an event renders under — one per subsystem,
+// mapped to a Chrome thread id on export.
+type Track uint8
+
+// Tracks, top-down in the exported view.
+const (
+	TrackSLS      Track = iota // checkpoint/restore orchestration
+	TrackFlush                 // flush pipeline jobs
+	TrackObjstore              // store commit protocol and page batches
+	TrackDevice                // per-submit device activity
+	TrackFault                 // injected faults
+	numTracks
+)
+
+// String names the track as exported.
+func (t Track) String() string {
+	switch t {
+	case TrackSLS:
+		return "sls"
+	case TrackFlush:
+		return "flush"
+	case TrackObjstore:
+		return "objstore"
+	case TrackDevice:
+		return "device"
+	case TrackFault:
+		return "fault"
+	}
+	return fmt.Sprintf("track%d", uint8(t))
+}
+
+// Arg is one key/value annotation on an event.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// I is shorthand for an integer Arg.
+func I(key string, v int64) Arg { return Arg{Key: key, Val: v} }
+
+// S is shorthand for a string Arg.
+func S(key string, v string) Arg { return Arg{Key: key, Val: v} }
+
+// D is shorthand for a duration Arg, exported in nanoseconds.
+func D(key string, v time.Duration) Arg { return Arg{Key: key, Val: int64(v)} }
+
+// EventKind discriminates collected events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	KindSpan    EventKind = iota // complete interval [Start, Start+Dur)
+	KindInstant                  // point event
+	KindCounter                  // counter sample (Value = total after update)
+)
+
+// Event is one collected trace record.
+type Event struct {
+	Kind   EventKind
+	Track  Track
+	Name   string
+	Start  time.Duration // virtual time
+	Dur    time.Duration // spans only
+	ID     uint64        // span id (spans only)
+	Parent uint64        // parent span id, 0 for roots
+	Value  int64         // counter samples
+	Args   []Arg
+}
+
+// counter is one monotonic counter.
+type counter struct {
+	total int64
+}
+
+// Tracer collects events against a virtual clock. The zero value is not
+// usable; construct with New. A nil *Tracer is the disabled tracer: every
+// method is a no-op after one pointer check.
+type Tracer struct {
+	clk clock.Clock
+
+	spanID atomic.Uint64
+
+	mu       sync.Mutex
+	events   []Event
+	counters map[string]*counter
+	hists    map[string]*Histogram
+}
+
+// New returns a tracer reading timestamps from clk.
+func New(clk clock.Clock) *Tracer {
+	return &Tracer{
+		clk:      clk,
+		counters: make(map[string]*counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Span is an open interval on a tracer. The zero Span (from a nil tracer)
+// is inert: Child and End are no-ops.
+type Span struct {
+	t     *Tracer
+	track Track
+	name  string
+	id    uint64
+	paren uint64
+	start time.Duration
+}
+
+// Begin opens a root span on track at the current virtual time.
+func (t *Tracer) Begin(track Track, name string, args ...Arg) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{
+		t:     t,
+		track: track,
+		name:  name,
+		id:    t.spanID.Add(1),
+		start: t.clk.Now(),
+	}
+}
+
+// Child opens a span nested under s, on s's track.
+func (s Span) Child(name string, args ...Arg) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	c := s.t.Begin(s.track, name)
+	c.paren = s.id
+	return c
+}
+
+// ChildOn opens a span nested under s on a different track.
+func (s Span) ChildOn(track Track, name string, args ...Arg) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	c := s.t.Begin(track, name)
+	c.paren = s.id
+	return c
+}
+
+// End closes the span at the current virtual time.
+func (s Span) End(args ...Arg) {
+	if s.t == nil {
+		return
+	}
+	now := s.t.clk.Now()
+	s.t.append(Event{
+		Kind: KindSpan, Track: s.track, Name: s.name,
+		Start: s.start, Dur: now - s.start,
+		ID: s.id, Parent: s.paren, Args: args,
+	})
+}
+
+// ID returns the span's id, for cross-referencing in args.
+func (s Span) ID() uint64 { return s.id }
+
+// Start returns the span's opening virtual time.
+func (s Span) Start() time.Duration { return s.start }
+
+// Range records a complete span over a known virtual interval — how async
+// work (a device submit that settles later) lands on the timeline without
+// holding a Span open.
+func (t *Tracer) Range(track Track, name string, start, end time.Duration, args ...Arg) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.append(Event{
+		Kind: KindSpan, Track: track, Name: name,
+		Start: start, Dur: end - start,
+		ID: t.spanID.Add(1), Args: args,
+	})
+}
+
+// Instant records a point event at the current virtual time.
+func (t *Tracer) Instant(track Track, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.append(Event{Kind: KindInstant, Track: track, Name: name, Start: t.clk.Now(), Args: args})
+}
+
+// Count adds delta to the named monotonic counter and records a sample.
+func (t *Tracer) Count(name string, delta int64) {
+	if t == nil {
+		return
+	}
+	now := t.clk.Now()
+	t.mu.Lock()
+	c := t.counters[name]
+	if c == nil {
+		c = &counter{}
+		t.counters[name] = c
+	}
+	c.total += delta
+	t.events = append(t.events, Event{Kind: KindCounter, Name: name, Start: now, Value: c.total})
+	t.mu.Unlock()
+}
+
+// Gauge records a sample of a momentary value (queue depths, backlogs)
+// without accumulating it.
+func (t *Tracer) Gauge(name string, v int64) {
+	if t == nil {
+		return
+	}
+	now := t.clk.Now()
+	t.mu.Lock()
+	t.events = append(t.events, Event{Kind: KindCounter, Name: name, Start: now, Value: v})
+	t.mu.Unlock()
+}
+
+// Observe adds v to the named histogram (latencies in nanoseconds, depths
+// in counts).
+func (t *Tracer) Observe(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	h := t.hists[name]
+	if h == nil {
+		h = &Histogram{name: name, min: int64(^uint64(0) >> 1)}
+		t.hists[name] = h
+	}
+	h.observe(v)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) append(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the collected timeline in collection order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// CounterValue returns the named counter's total (0 if never touched).
+func (t *Tracer) CounterValue(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c := t.counters[name]; c != nil {
+		return c.total
+	}
+	return 0
+}
+
+// Histogram is a log2-bucketed distribution: bucket i holds values whose
+// bit length is i, so relative error is bounded by 2x — plenty for
+// latency rollups spanning nanoseconds to seconds.
+type Histogram struct {
+	name    string
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [65]int64
+}
+
+func (h *Histogram) observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+}
+
+// HistSnapshot is a read-only summary of one histogram.
+type HistSnapshot struct {
+	Name          string
+	Count         int64
+	Sum           int64
+	Min, Max      int64
+	P50, P95, P99 int64
+}
+
+func (h *Histogram) snapshot() HistSnapshot {
+	s := HistSnapshot{Name: h.name, Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		s.Min = 0
+		return s
+	}
+	s.P50 = h.quantile(0.50)
+	s.P95 = h.quantile(0.95)
+	s.P99 = h.quantile(0.99)
+	return s
+}
+
+// quantile returns an estimate bounded by the true bucket: the bucket
+// midpoint, clamped into [min, max].
+func (h *Histogram) quantile(q float64) int64 {
+	rank := int64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen int64
+	for i, n := range h.buckets {
+		seen += n
+		if seen > rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+			}
+			hi := int64(1)<<i - 1
+			mid := lo + (hi-lo)/2
+			if mid < h.min {
+				mid = h.min
+			}
+			if mid > h.max {
+				mid = h.max
+			}
+			return mid
+		}
+	}
+	return h.max
+}
+
+// Histograms returns snapshots of every histogram, sorted by name.
+func (t *Tracer) Histograms() []HistSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]HistSnapshot, 0, len(t.hists))
+	for _, h := range t.hists {
+		out = append(out, h.snapshot())
+	}
+	sortBy(out, func(a, b HistSnapshot) bool { return a.Name < b.Name })
+	return out
+}
+
+// Counters returns name/total pairs sorted by name.
+func (t *Tracer) Counters() []CounterSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]CounterSnapshot, 0, len(t.counters))
+	for name, c := range t.counters {
+		out = append(out, CounterSnapshot{Name: name, Total: c.total})
+	}
+	sortBy(out, func(a, b CounterSnapshot) bool { return a.Name < b.Name })
+	return out
+}
+
+// CounterSnapshot is one counter's final total.
+type CounterSnapshot struct {
+	Name  string
+	Total int64
+}
+
+// sortBy is an insertion sort — snapshot lists are small and this keeps
+// the package dependency-free.
+func sortBy[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

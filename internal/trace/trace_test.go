@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"aurora/internal/clock"
+)
+
+func TestSpanTree(t *testing.T) {
+	clk := clock.NewVirtual()
+	tr := New(clk)
+
+	root := tr.Begin(TrackSLS, "checkpoint")
+	clk.Advance(100 * time.Microsecond)
+	child := root.Child("stop")
+	clk.Advance(40 * time.Microsecond)
+	child.End()
+	clk.Advance(60 * time.Microsecond)
+	root.End()
+
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+	// Events land in End order: child first.
+	c, r := events[0], events[1]
+	if c.Name != "stop" || r.Name != "checkpoint" {
+		t.Fatalf("unexpected order: %q then %q", c.Name, r.Name)
+	}
+	if c.Parent != r.ID {
+		t.Errorf("child parent=%d, want root id %d", c.Parent, r.ID)
+	}
+	if c.Dur != 40*time.Microsecond {
+		t.Errorf("child dur=%v, want 40µs", c.Dur)
+	}
+	if r.Dur != 200*time.Microsecond {
+		t.Errorf("root dur=%v, want 200µs", r.Dur)
+	}
+	if r.Start != 0 || c.Start != 100*time.Microsecond {
+		t.Errorf("starts: root=%v child=%v", r.Start, c.Start)
+	}
+}
+
+func TestRangeClampsNegative(t *testing.T) {
+	tr := New(clock.NewVirtual())
+	tr.Range(TrackDevice, "write", 50*time.Microsecond, 10*time.Microsecond)
+	ev := tr.Events()[0]
+	if ev.Dur != 0 {
+		t.Errorf("inverted range dur=%v, want 0", ev.Dur)
+	}
+}
+
+func TestCountersAndGauges(t *testing.T) {
+	clk := clock.NewVirtual()
+	tr := New(clk)
+	tr.Count("dev.submits", 1)
+	tr.Count("dev.submits", 2)
+	tr.Gauge("flush.depth", 7)
+	if got := tr.CounterValue("dev.submits"); got != 3 {
+		t.Errorf("counter=%d, want 3", got)
+	}
+	if got := tr.CounterValue("missing"); got != 0 {
+		t.Errorf("missing counter=%d, want 0", got)
+	}
+	cs := tr.Counters()
+	if len(cs) != 1 || cs[0].Name != "dev.submits" || cs[0].Total != 3 {
+		t.Errorf("counters snapshot: %+v", cs)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	tr := New(clock.NewVirtual())
+	for i := int64(1); i <= 1000; i++ {
+		tr.Observe("lat", i)
+	}
+	hs := tr.Histograms()
+	if len(hs) != 1 {
+		t.Fatalf("got %d histograms", len(hs))
+	}
+	h := hs[0]
+	if h.Count != 1000 || h.Min != 1 || h.Max != 1000 {
+		t.Fatalf("summary: %+v", h)
+	}
+	// Log2 buckets bound relative error by 2x.
+	if h.P50 < 250 || h.P50 > 1000 {
+		t.Errorf("p50=%d out of [250,1000]", h.P50)
+	}
+	if h.P99 < 500 || h.P99 > 1000 {
+		t.Errorf("p99=%d out of [500,1000]", h.P99)
+	}
+	if h.P50 > h.P95 || h.P95 > h.P99 {
+		t.Errorf("quantiles not monotone: %d %d %d", h.P50, h.P95, h.P99)
+	}
+}
+
+func TestHistogramSingleValue(t *testing.T) {
+	tr := New(clock.NewVirtual())
+	tr.Observe("x", 42)
+	h := tr.Histograms()[0]
+	if h.Min != 42 || h.Max != 42 || h.P50 != 42 || h.P99 != 42 {
+		t.Errorf("single-value summary: %+v", h)
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	clk := clock.NewVirtual()
+	tr := New(clk)
+	s := tr.Begin(TrackObjstore, "commit", I("epoch", 3))
+	clk.Advance(time.Millisecond)
+	s.End()
+	tr.Instant(TrackFault, "crash", S("why", "cut"))
+	tr.Count("dev.bytes", 4096)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	phases := map[string]int{}
+	for _, ev := range out {
+		phases[ev["ph"].(string)]++
+	}
+	if phases["X"] != 1 || phases["i"] != 1 || phases["C"] != 1 || phases["M"] == 0 {
+		t.Errorf("phase counts: %v", phases)
+	}
+}
+
+func TestWriteChromeNil(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("nil tracer JSON: %v", err)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Begin(TrackSLS, "x")
+	c := s.Child("y")
+	c.End()
+	s.End()
+	tr.Range(TrackDevice, "z", 0, 1)
+	tr.Instant(TrackFault, "f")
+	tr.Count("c", 1)
+	tr.Gauge("g", 1)
+	tr.Observe("h", 1)
+	if tr.Events() != nil || tr.Histograms() != nil || tr.Counters() != nil {
+		t.Error("nil tracer returned non-nil snapshots")
+	}
+	if tr.Rollup() == "" || tr.TimelineTail(5) != "" {
+		t.Error("nil tracer text output wrong")
+	}
+}
+
+func TestRollupAndTail(t *testing.T) {
+	clk := clock.NewVirtual()
+	tr := New(clk)
+	s := tr.Begin(TrackSLS, "checkpoint")
+	clk.Advance(time.Millisecond)
+	s.End()
+	tr.Observe("dev.settle_ns", 1000)
+	tr.Count("dev.submits", 1)
+	roll := tr.Rollup()
+	for _, want := range []string{"checkpoint", "dev.settle_ns", "dev.submits"} {
+		if !strings.Contains(roll, want) {
+			t.Errorf("rollup missing %q:\n%s", want, roll)
+		}
+	}
+	tail := tr.TimelineTail(10)
+	if !strings.Contains(tail, "checkpoint") {
+		t.Errorf("tail missing span:\n%s", tail)
+	}
+	if got := strings.Count(tr.TimelineTail(1), "\n"); got != 1 {
+		t.Errorf("tail(1) lines=%d, want 1", got)
+	}
+}
+
+// BenchmarkNilTracerHook measures the disabled-tracing cost at an
+// instrumented site: one pointer check. The CI overhead guard multiplies
+// this by the hook count of a traced run.
+func BenchmarkNilTracerHook(b *testing.B) {
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		if tr != nil {
+			tr.Count("dev.submits", 1)
+		}
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	clk := clock.NewVirtual()
+	tr := New(clk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Begin(TrackDevice, "submit")
+		s.End()
+	}
+}
