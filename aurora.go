@@ -30,6 +30,7 @@ import (
 	"aurora/internal/device"
 	"aurora/internal/kern"
 	"aurora/internal/mem"
+	"aurora/internal/net"
 	"aurora/internal/objstore"
 	"aurora/internal/sls"
 	"aurora/internal/slsfs"
@@ -59,6 +60,16 @@ type (
 	Journal = objstore.Journal
 	// Tracer records virtual-time spans, counters, and histograms.
 	Tracer = trace.Tracer
+	// Replica is a warm standby of a group on another machine.
+	Replica = sls.Replica
+	// NetParams describe one direction of a simulated replication wire.
+	NetParams = net.Params
+	// NetPlan is a deterministic seeded wire fault scenario.
+	NetPlan = net.Plan
+	// NetFault arms one fault at a wire transmission index.
+	NetFault = net.Fault
+	// NetConn is a framed, ack-windowed replication connection.
+	NetConn = net.Conn
 	// Epoch numbers checkpoints in the store.
 	Epoch = objstore.Epoch
 	// OID names an object in the store.
@@ -115,6 +126,24 @@ type Config struct {
 	// the store, and the SLS orchestrator. Off by default: the disabled
 	// path costs one nil check per hook site.
 	Trace bool
+	// Net, when non-nil, routes ReplicateTo and MigrateTo over a simulated
+	// lossy network instead of the direct in-process copy. Each call builds
+	// a fresh connection from this description.
+	Net *NetConfig
+}
+
+// NetConfig describes the simulated replication wire between machines:
+// link characteristics, per-direction fault plans, and protocol tuning.
+// The zero value is a clean default link.
+type NetConfig struct {
+	// Params sets latency/bandwidth/jitter; zero selects the paper's
+	// testbed interconnect (15 µs one-way, ~1 GB/s).
+	Params NetParams
+	// Fwd and Rev are the fault plans for the data and ack directions.
+	Fwd, Rev NetPlan
+	// Conn tunes the transfer protocol (window, frame size, retries);
+	// zero values select defaults.
+	Conn net.Config
 }
 
 // Defaults returns the paper's testbed configuration scaled for a laptop.
@@ -138,6 +167,9 @@ type Machine struct {
 	// Tracer is non-nil when the machine was built with Config.Trace; use
 	// Tracer.WriteChrome / Tracer.Rollup to export what it recorded.
 	Tracer *trace.Tracer
+	// Net is the replication wire description from Config.Net; nil selects
+	// the direct in-process path.
+	Net *NetConfig
 }
 
 // NewMachine boots a machine with freshly formatted storage.
@@ -209,7 +241,27 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 		Tracer: tr,
 	}
 	m.SLS.Tracer = tr
+	m.Net = cfg.Net
 	return m, nil
+}
+
+// NewConn builds a replication connection over this machine's clock from a
+// wire description (nil selects Machine.Net, and a nil result means the
+// direct path). Faults injected by the plans land on the machine's tracer
+// when tracing is enabled.
+func (m *Machine) NewConn(nc *NetConfig) *NetConn {
+	if nc == nil {
+		nc = m.Net
+	}
+	if nc == nil {
+		return nil
+	}
+	params := nc.Params
+	if params == (NetParams{}) {
+		params = net.DefaultParams()
+	}
+	pipe := net.NewPipe(m.Clock, params, nc.Fwd, nc.Rev)
+	return net.NewConn(pipe, m.Clock, nc.Conn, m.Tracer)
 }
 
 // Crash simulates power loss and reboot: all volatile state (kernel,
@@ -219,7 +271,7 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 // rebooted machine records into the same tracer — restore spans land on
 // the same timeline as the checkpoints that made them possible.
 func (m *Machine) Crash() (*Machine, error) {
-	return build(Config{Costs: m.Costs}, m.Disk, m.Clock, false, m.Tracer)
+	return build(Config{Costs: m.Costs, Net: m.Net}, m.Disk, m.Clock, false, m.Tracer)
 }
 
 // SaveImage writes the machine's disk contents to w; BootImage brings the
@@ -311,23 +363,27 @@ func (m *Machine) Suspend(group string) error {
 // MigrateTo live-migrates the named group to another machine with
 // iterative pre-copy (§10): a full round, `rounds` delta rounds while the
 // application runs (work is called between them), and a final short
-// stop-and-copy. The group resumes on dst.
+// stop-and-copy. The group resumes on dst. With Config.Net set, every
+// round ships over the simulated wire as a resumable transfer.
 func (m *Machine) MigrateTo(dst *Machine, group string, rounds int, work func() error) (*Group, sls.MigrateStats, error) {
 	g, ok := m.SLS.GroupByName(group)
 	if !ok {
 		return nil, sls.MigrateStats{}, fmt.Errorf("aurora: no group %q", group)
 	}
-	return g.Migrate(dst.SLS, rounds, work)
+	return g.MigrateVia(dst.SLS, rounds, work, m.NewConn(nil))
 }
 
 // ReplicateTo seeds a warm standby of the named group on dst and returns
-// the replication handle (Sync ships deltas; Failover takes over).
+// the replication handle (Sync ships deltas; Failover takes over). With
+// Config.Net set, the seed and every sync run over the simulated wire; a
+// sync that exhausts its retries stays pending on the handle and Resume
+// re-ships only the unacked tail.
 func (m *Machine) ReplicateTo(dst *Machine, group string) (*sls.Replica, error) {
 	g, ok := m.SLS.GroupByName(group)
 	if !ok {
 		return nil, fmt.Errorf("aurora: no group %q", group)
 	}
-	return g.ReplicateTo(dst.SLS)
+	return g.ReplicateToVia(dst.SLS, m.NewConn(nil))
 }
 
 // History lists restorable checkpoint epochs.

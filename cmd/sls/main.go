@@ -71,6 +71,8 @@ func run() error {
 		return cmdSend(*img, args)
 	case "recv":
 		return cmdRecv(*img)
+	case "replicate":
+		return cmdReplicate(*img, args)
 	case "fsck":
 		return cmdFsck(*img)
 	case "trace":
@@ -95,6 +97,8 @@ commands:
   dump -name N [-o FILE]            write an ELF coredump
   send -name N                      stream a checkpoint to stdout
   recv                              receive a checkpoint from stdin
+  replicate -name N -dst FILE       keep a warm standby in another image,
+                                    syncing over a simulated lossy wire
   fsck                              verify store consistency
   trace [-steps K] [-o FILE]        run the demo under the tracer and
                                     export a Chrome trace-event file`)
@@ -372,6 +376,69 @@ func cmdSend(img string, args []string) error {
 		return err
 	}
 	return g.Send(os.Stdout)
+}
+
+// cmdReplicate keeps a warm standby of the named application in a second
+// machine image, shipping the seed and every sync over the simulated lossy
+// network (sls replicate -name demo -dst standby.img -syncs 3 -drop 0.05).
+// Between syncs the demo app keeps running, so the standby trails the
+// primary by one checkpoint — exactly the paper's continuous-checkpoint
+// high-availability mode.
+func cmdReplicate(img string, args []string) error {
+	fs := flag.NewFlagSet("replicate", flag.ExitOnError)
+	name := fs.String("name", "demo", "application name")
+	dstImg := fs.String("dst", "standby.img", "standby machine image file")
+	syncs := fs.Int("syncs", 3, "delta syncs to ship after the seed")
+	steps := fs.Int("steps", 50, "demo app steps between syncs")
+	drop := fs.Float64("drop", 0, "forward-path frame drop probability [0,1)")
+	dup := fs.Float64("dup", 0, "forward-path frame duplication probability")
+	corrupt := fs.Float64("corrupt", 0, "forward-path frame corruption probability")
+	seed := fs.Int64("seed", 1, "fault-plan PRNG seed")
+	fs.Parse(args)
+
+	src, err := boot(img)
+	if err != nil {
+		return err
+	}
+	dst, err := boot(*dstImg)
+	if err != nil {
+		return fmt.Errorf("standby %s: %w", *dstImg, err)
+	}
+	g, _, err := src.Restore(*name)
+	if err != nil {
+		return err
+	}
+	conn := src.NewConn(&aurora.NetConfig{
+		Fwd: aurora.NetPlan{Seed: *seed, DropProb: *drop, DupProb: *dup, CorruptProb: *corrupt},
+		Rev: aurora.NetPlan{Seed: *seed + 1, DropProb: *drop},
+	})
+	rep, err := g.ReplicateToVia(dst.SLS, conn)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seeded %s on %s: %d stream bytes, %d wire bytes, lag %v\n",
+		*name, *dstImg, rep.LastBytes, rep.WireBytes, rep.LastLag)
+
+	p := g.Procs()[0]
+	for i := 1; i <= *syncs; i++ {
+		v, err := stepCounter(p, src, *steps, nil)
+		if err != nil {
+			return err
+		}
+		if err := rep.Sync(); err != nil {
+			return err
+		}
+		fmt.Printf("sync %d: counter=%d, %d bytes, lag %v\n", i, v, rep.LastBytes, rep.LastLag)
+	}
+	st := conn.Stats()
+	fmt.Printf("replicated %s: %d syncs, %d stream bytes, %d wire bytes, %d retransmits, %d backoffs\n",
+		*name, rep.Syncs, rep.BytesTotal, rep.WireBytes, rep.Retransmits, rep.Backoffs)
+	fmt.Printf("  wire: %d frames sent, %d acks seen, %d dup-discards, %d corrupt-drops\n",
+		st.FramesSent, st.AcksSeen, st.DupDiscards, st.CorruptDrops)
+	if err := save(src, img); err != nil {
+		return err
+	}
+	return save(dst, *dstImg)
 }
 
 func cmdFsck(img string) error {

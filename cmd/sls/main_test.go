@@ -107,6 +107,42 @@ func TestCLIEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCLIReplicate drives the replicate verb over a lossy simulated wire:
+// the standby image must end up restorable at the last synced counter.
+func TestCLIReplicate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	img := filepath.Join(dir, "primary.img")
+	stb := filepath.Join(dir, "standby.img")
+
+	runCLI(t, bin, nil, "-img", img, "init")
+	runCLI(t, bin, nil, "-img", stb, "init")
+	runCLI(t, bin, nil, "-img", img, "attach", "-name", "demo", "-steps", "100")
+
+	out := runCLI(t, bin, nil, "-img", img, "replicate",
+		"-name", "demo", "-dst", stb, "-syncs", "2", "-steps", "25",
+		"-drop", "0.05", "-dup", "0.05", "-corrupt", "0.05", "-seed", "7")
+	if !strings.Contains(out, "sync 2: counter=150") {
+		t.Fatalf("replicate output: %s", out)
+	}
+	if !strings.Contains(out, "2 syncs") && !strings.Contains(out, "3 syncs") {
+		t.Fatalf("replicate output missing totals: %s", out)
+	}
+
+	// Failover: the standby image restores the app at the last synced state.
+	out = runCLI(t, bin, nil, "-img", stb, "restore", "-name", "demo", "-steps", "10")
+	if !strings.Contains(out, "counter 150 -> 160") {
+		t.Fatalf("standby restore output: %s", out)
+	}
+	out = runCLI(t, bin, nil, "-img", stb, "fsck")
+	if !strings.Contains(out, "consistent") {
+		t.Fatalf("standby fsck output: %s", out)
+	}
+}
+
 // runRaw returns stdout alone (binary streams).
 func runRaw(t *testing.T, bin string, stdin []byte, args ...string) []byte {
 	t.Helper()

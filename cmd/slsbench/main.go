@@ -6,7 +6,7 @@
 //	slsbench table5 fig4         # a subset
 //
 // Experiments: table1, fig3a, fig3b, fig3c, fig3d, table4, table5, table6,
-// fig4, fig5, fig6, table7.
+// fig4, fig5, fig6, table7, repl (replication lag under lossy wires).
 //
 // With -trace FILE, a checkpoint+crash+lazy-restore scenario runs under the
 // virtual-clock tracer and its timeline is written to FILE as Chrome
@@ -70,6 +70,7 @@ func main() {
 		{"fig5", wrap(experiments.Fig5)},
 		{"fig6", wrap(experiments.Fig6)},
 		{"table7", wrap(experiments.Table7)},
+		{"repl", wrap(experiments.Replication)},
 	}
 	byName := map[string]runner{}
 	for _, r := range all {

@@ -281,3 +281,54 @@ func TestFig3Panels(t *testing.T) {
 		}
 	}
 }
+
+func TestReplicationShape(t *testing.T) {
+	r, err := Replication(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ReplRow{}
+	for _, row := range r.Rows {
+		byName[row.Config] = row
+	}
+	direct, clean := byName["direct"], byName["clean wire"]
+	lossy, heavy := byName["drop 2%"], byName["drop 10%"]
+	part := byName["1s partition + resume"]
+
+	// Every configuration ships the same checkpoints: the stream byte
+	// totals agree and each run lands all its syncs.
+	for _, row := range r.Rows {
+		if row.StreamBytes != direct.StreamBytes {
+			t.Errorf("%s shipped %d stream bytes, direct shipped %d", row.Config, row.StreamBytes, direct.StreamBytes)
+		}
+		if row.Syncs != direct.Syncs {
+			t.Errorf("%s landed %d syncs, direct landed %d", row.Config, row.Syncs, direct.Syncs)
+		}
+	}
+	// The direct path has no wire accounting; every transport run does,
+	// with framing overhead above the stream size.
+	if direct.WireBytes != 0 {
+		t.Errorf("direct path accrued %d wire bytes", direct.WireBytes)
+	}
+	if clean.WireBytes <= clean.StreamBytes {
+		t.Errorf("clean wire bytes %d not above stream bytes %d", clean.WireBytes, clean.StreamBytes)
+	}
+	// Loss costs retransmits and lag; more loss costs more of both.
+	if lossy.Retransmits == 0 || heavy.Retransmits <= lossy.Retransmits {
+		t.Errorf("retransmits: 2%% -> %d, 10%% -> %d", lossy.Retransmits, heavy.Retransmits)
+	}
+	if heavy.LagP95 <= clean.LagP95 {
+		t.Errorf("10%% loss p95 lag %v not above clean %v", heavy.LagP95, clean.LagP95)
+	}
+	// The partition run resumed exactly once and its worst lag swallows
+	// the outage.
+	if part.Resumes != 1 {
+		t.Errorf("partition run resumed %d times, want 1", part.Resumes)
+	}
+	if part.LagMax < time.Second {
+		t.Errorf("partition run max lag %v does not cover the 1s outage", part.LagMax)
+	}
+	if !strings.Contains(r.Render(), "Lag p95") {
+		t.Error("render missing columns")
+	}
+}

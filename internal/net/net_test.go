@@ -1,0 +1,239 @@
+package net
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"aurora/internal/clock"
+)
+
+func TestLinkCleanDelivery(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLink(clk, Params{Latency: 10 * time.Microsecond, PerByte: time.Nanosecond}, Plan{})
+	l.Send(bytes.Repeat([]byte{0xaa}, 1000))
+	// Serialization charged at send time.
+	if got, want := clk.Now(), 1000*time.Nanosecond; got != want {
+		t.Fatalf("after send clock=%v want %v", got, want)
+	}
+	b, ok := l.Recv()
+	if !ok || len(b) != 1000 {
+		t.Fatalf("recv = %d bytes ok=%v", len(b), ok)
+	}
+	// Recv advances to the arrival instant: send end + latency.
+	if got, want := clk.Now(), 1000*time.Nanosecond+10*time.Microsecond; got != want {
+		t.Fatalf("after recv clock=%v want %v", got, want)
+	}
+	if _, ok := l.Recv(); ok {
+		t.Fatal("empty link delivered a frame")
+	}
+	st := l.Stats()
+	if st.Xmits != 1 || st.Delivered != 1 || st.Drops != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkOrderPreservedWhenClean(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLink(clk, DefaultParams(), Plan{})
+	for i := 0; i < 8; i++ {
+		l.Send([]byte{byte(i)})
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := l.Recv()
+		if !ok || b[0] != byte(i) {
+			t.Fatalf("frame %d: got %v ok=%v", i, b, ok)
+		}
+	}
+}
+
+func TestLinkDeterministicFaults(t *testing.T) {
+	run := func(kind FaultKind) (LinkStats, [][]byte) {
+		clk := clock.NewVirtual()
+		l := NewLink(clk, DefaultParams(), Plan{Faults: []Fault{{Xmit: 1, Kind: kind}}})
+		for i := 0; i < 3; i++ {
+			l.Send([]byte{byte(i), 0x55})
+		}
+		var out [][]byte
+		for {
+			b, ok := l.Recv()
+			if !ok {
+				break
+			}
+			out = append(out, b)
+		}
+		return l.Stats(), out
+	}
+
+	st, out := run(FaultDrop)
+	if st.Drops != 1 || len(out) != 2 {
+		t.Fatalf("drop: stats=%+v frames=%d", st, len(out))
+	}
+	st, out = run(FaultDup)
+	if st.Dups != 1 || len(out) != 4 {
+		t.Fatalf("dup: stats=%+v frames=%d", st, len(out))
+	}
+	st, out = run(FaultReorder)
+	if st.Reorders != 1 || len(out) != 3 {
+		t.Fatalf("reorder: stats=%+v frames=%d", st, len(out))
+	}
+	// The reordered frame (index 1) arrives after frame 2.
+	if out[1][0] != 2 || out[2][0] != 1 {
+		t.Fatalf("reorder order: got %v %v %v", out[0][0], out[1][0], out[2][0])
+	}
+	st, out = run(FaultCorrupt)
+	if st.Corrupts != 1 || len(out) != 3 {
+		t.Fatalf("corrupt: stats=%+v frames=%d", st, len(out))
+	}
+	if bytes.Equal(out[1], []byte{1, 0x55}) {
+		t.Fatal("corrupt fault delivered the frame unmodified")
+	}
+}
+
+func TestLinkCorruptDoesNotAliasCallerBuffer(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLink(clk, DefaultParams(), Plan{Faults: []Fault{{Xmit: 0, Kind: FaultCorrupt}}})
+	buf := []byte{1, 2, 3, 4}
+	orig := append([]byte(nil), buf...)
+	l.Send(buf)
+	if !bytes.Equal(buf, orig) {
+		t.Fatal("Send corrupted the caller's buffer in place")
+	}
+}
+
+func TestLinkPartitionWindow(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLink(clk, Params{Latency: 10 * time.Microsecond}, Plan{
+		Partitions: []Partition{{From: 0, Until: 50 * time.Microsecond}},
+	})
+	l.Send([]byte{1}) // t=0: inside window, lost
+	if st := l.Stats(); st.PartitionDrops != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	clk.Advance(60 * time.Microsecond)
+	l.Send([]byte{2}) // past the window
+	b, ok := l.Recv()
+	if !ok || b[0] != 2 {
+		t.Fatalf("post-partition recv = %v ok=%v", b, ok)
+	}
+}
+
+func TestLinkIndexTriggeredPartition(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLink(clk, Params{Latency: 10 * time.Microsecond}, Plan{
+		PartitionXmit: 2, PartitionDur: time.Millisecond,
+	})
+	l.Send([]byte{0})
+	l.Send([]byte{1})
+	l.Send([]byte{2}) // triggers the partition and is itself lost
+	l.Send([]byte{3}) // still inside the window
+	st := l.Stats()
+	if st.PartitionDrops != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	clk.Advance(2 * time.Millisecond)
+	l.Send([]byte{4})
+	var got []byte
+	for {
+		b, ok := l.Recv()
+		if !ok {
+			break
+		}
+		got = append(got, b[0])
+	}
+	if !bytes.Equal(got, []byte{0, 1, 4}) {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+func TestLinkAddPartitionMidRun(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLink(clk, Params{Latency: 10 * time.Microsecond}, Plan{})
+	l.Send([]byte{0})
+	l.AddPartition(100 * time.Microsecond)
+	l.Send([]byte{1}) // lost: inside the pulled-cable window
+	clk.Advance(200 * time.Microsecond)
+	l.Send([]byte{2})
+	var got []byte
+	for {
+		b, ok := l.Recv()
+		if !ok {
+			break
+		}
+		got = append(got, b[0])
+	}
+	if !bytes.Equal(got, []byte{0, 2}) {
+		t.Fatalf("delivered = %v", got)
+	}
+}
+
+// TestLinkProbabilisticReplay pins the determinism contract: the same plan
+// against the same send sequence produces the identical fault history.
+func TestLinkProbabilisticReplay(t *testing.T) {
+	run := func() (LinkStats, []time.Duration) {
+		clk := clock.NewVirtual()
+		l := NewLink(clk, Params{Latency: 15 * time.Microsecond, PerByte: time.Nanosecond, Jitter: 5 * time.Microsecond},
+			Plan{Seed: 42, DropProb: 0.1, DupProb: 0.1, ReorderProb: 0.1, CorruptProb: 0.1})
+		for i := 0; i < 200; i++ {
+			l.Send(bytes.Repeat([]byte{byte(i)}, 64))
+		}
+		var arrivals []time.Duration
+		for {
+			_, ok := l.Recv()
+			if !ok {
+				break
+			}
+			arrivals = append(arrivals, clk.Now())
+		}
+		return l.Stats(), arrivals
+	}
+	s1, a1 := run()
+	s2, a2 := run()
+	if s1 != s2 {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Drops == 0 || s1.Dups == 0 || s1.Reorders == 0 || s1.Corrupts == 0 {
+		t.Fatalf("probabilistic plan injected nothing: %+v", s1)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("delivery count diverged: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d diverged: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestPipeDirectionsIndependent(t *testing.T) {
+	clk := clock.NewVirtual()
+	p := NewPipe(clk, DefaultParams(), Plan{DropProb: 1}, Plan{})
+	p.Fwd.Send([]byte{1})
+	p.Rev.Send([]byte{2})
+	if _, ok := p.Fwd.Recv(); ok {
+		t.Fatal("fwd plan drop=1 delivered a frame")
+	}
+	b, ok := p.Rev.Recv()
+	if !ok || b[0] != 2 {
+		t.Fatal("clean rev direction lost a frame")
+	}
+}
+
+func TestPipeCut(t *testing.T) {
+	clk := clock.NewVirtual()
+	p := NewPipe(clk, Params{Latency: 10 * time.Microsecond}, Plan{}, Plan{})
+	p.Cut(100 * time.Microsecond)
+	p.Fwd.Send([]byte{1})
+	p.Rev.Send([]byte{2})
+	if _, ok := p.Fwd.Recv(); ok {
+		t.Fatal("cut fwd delivered")
+	}
+	if _, ok := p.Rev.Recv(); ok {
+		t.Fatal("cut rev delivered")
+	}
+	clk.Advance(time.Millisecond)
+	p.Fwd.Send([]byte{3})
+	if _, ok := p.Fwd.Recv(); !ok {
+		t.Fatal("healed fwd lost a frame")
+	}
+}

@@ -1,0 +1,118 @@
+package sls
+
+// FuzzRecv throws arbitrary byte streams at the checkpoint stream decoder.
+// The invariant: Recv on a fresh machine either succeeds or returns an
+// error — it never panics and never allocates unboundedly from a corrupt
+// length header. Seeds are real Send/SendDelta output plus truncations and
+// header mutations so the fuzzer starts at the interesting surface.
+
+import (
+	"bytes"
+	"testing"
+
+	"aurora/internal/vm"
+)
+
+// fuzzSeedStreams builds real checkpoint streams: a full image and a delta
+// carrying page writes, a journal, and a deleted object.
+func fuzzSeedStreams() ([][]byte, error) {
+	w, err := newWorldE()
+	if err != nil {
+		return nil, err
+	}
+	p := w.k.NewProc("app")
+	g := w.o.CreateGroup("app")
+	if err := g.Attach(p); err != nil {
+		return nil, err
+	}
+	va, err := p.Mmap(8*vm.PageSize, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		return nil, err
+	}
+	doomed, err := p.Mmap(4*vm.PageSize, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.WriteMem(va, []byte("fuzz seed state")); err != nil {
+		return nil, err
+	}
+	if err := p.WriteMem(doomed, []byte("gone soon")); err != nil {
+		return nil, err
+	}
+	j, err := g.Journal("wal", 1<<16)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := j.Append([]byte("journal frame")); err != nil {
+		return nil, err
+	}
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		return nil, err
+	}
+	if err := g.Barrier(); err != nil {
+		return nil, err
+	}
+	base := g.lastEpoch
+
+	var full bytes.Buffer
+	if err := g.Send(&full); err != nil {
+		return nil, err
+	}
+
+	if err := p.Munmap(doomed); err != nil {
+		return nil, err
+	}
+	if err := p.WriteMem(va+vm.PageSize, []byte("delta page")); err != nil {
+		return nil, err
+	}
+	if _, err := g.Checkpoint(CkptIncremental); err != nil {
+		return nil, err
+	}
+	if err := g.Barrier(); err != nil {
+		return nil, err
+	}
+	var delta bytes.Buffer
+	if err := g.SendDelta(&delta, base); err != nil {
+		return nil, err
+	}
+	return [][]byte{full.Bytes(), delta.Bytes()}, nil
+}
+
+func FuzzRecv(f *testing.F) {
+	streams, err := fuzzSeedStreams()
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range streams {
+		f.Add(s)
+		if len(s) > 64 {
+			f.Add(s[:len(s)/2]) // truncated mid-item
+			f.Add(s[:5])        // truncated inside the head's length header
+			mut := append([]byte(nil), s...)
+			mut[0] = 0xff // inflated head length
+			f.Add(mut)
+			mut2 := append([]byte(nil), s...)
+			mut2[len(mut2)/2] ^= 0x80 // flipped bit mid-stream
+			f.Add(mut2)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("AURS"))
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := newWorldE()
+		if err != nil {
+			t.Skip()
+		}
+		// Must not panic; success or error are both acceptable outcomes.
+		name, err := w.o.Recv(bytes.NewReader(data))
+		if err == nil {
+			// An accepted stream must have registered a restorable group
+			// or at least left the store healthy.
+			if rep := w.store.Fsck(); !rep.OK() {
+				t.Fatalf("accepted stream %q left an unhealthy store: %v", name, rep.Problems)
+			}
+		}
+	})
+}

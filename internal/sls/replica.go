@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"aurora/internal/net"
 	"aurora/internal/objstore"
+	"aurora/internal/trace"
 )
 
 // High availability (§3): "sls send" can continually feed incremental
@@ -13,23 +15,58 @@ import (
 // seed transfer, each Sync ships only the delta since the last shipped
 // epoch; Failover restores the application on the standby from the last
 // synced state.
+//
+// Replication runs either over the direct in-process path (conn == nil —
+// the original byte copy, wire time charged as one lump) or over a
+// simulated lossy network (internal/net): each ship is one resumable
+// transfer keyed by the shipped checkpoint epoch. A ship that exhausts its
+// retries (partition outlasting the backoff budget) leaves the encoded
+// stream pending; the next Sync — or an explicit Resume — re-ships only
+// the frames the standby has not acked, then applies the stream.
 
 // Replica is a warm standby of a group on another orchestrator.
 type Replica struct {
 	g    *Group
 	dst  *Orchestrator
+	conn *net.Conn
 	base objstore.Epoch // last epoch the standby holds
 
+	// pending is a ship that ran out of retries mid-transfer; Resume (or
+	// the next Sync) completes it from the receiver's high-water mark.
+	pending *pendingShip
+
 	Syncs      int
-	BytesTotal int64
+	BytesTotal int64 // stream bytes applied to the standby
 	LastBytes  int64
-	LastLag    time.Duration // checkpoint cut to standby-durable
+	LastLag    time.Duration // checkpoint cut to standby-applied
+
+	// Wire-level accounting, zero on the direct path.
+	WireBytes   int64 // bytes put on the forward wire, framing + retransmits
+	Retransmits int64
+	Backoffs    int64
+	Resumes     int64 // ships completed from a pending transfer
 }
 
-// ReplicateTo seeds a standby with the group's full state and returns the
-// replication handle. The group must be checkpointing (the seed takes a
-// checkpoint if none exists).
+// pendingShip is an encoded stream whose transfer did not complete.
+type pendingShip struct {
+	epoch    uint64 // transfer key: the shipped checkpoint epoch
+	newBase  objstore.Epoch
+	data     []byte
+	cutStart time.Duration
+}
+
+// ReplicateTo seeds a standby with the group's full state over the direct
+// path and returns the replication handle. The group must be checkpointing
+// (the seed takes a checkpoint if none exists).
 func (g *Group) ReplicateTo(dst *Orchestrator) (*Replica, error) {
+	return g.ReplicateToVia(dst, nil)
+}
+
+// ReplicateToVia is ReplicateTo over a simulated network connection;
+// conn == nil selects the direct path. The seed transfer itself is
+// resumable: on ErrRetriesExhausted the returned replica is still live and
+// Resume completes the seed once the wire heals.
+func (g *Group) ReplicateToVia(dst *Orchestrator, conn *net.Conn) (*Replica, error) {
 	if g.lastEpoch == 0 {
 		if _, err := g.Checkpoint(CkptIncremental); err != nil {
 			return nil, err
@@ -38,20 +75,25 @@ func (g *Group) ReplicateTo(dst *Orchestrator) (*Replica, error) {
 			return nil, err
 		}
 	}
-	r := &Replica{g: g, dst: dst}
-	n, err := r.ship(0)
-	if err != nil {
+	r := &Replica{g: g, dst: dst, conn: conn}
+	if err := r.ship(0, g.o.Clk.Now()); err != nil {
+		if r.pending != nil {
+			// Seed cut off mid-transfer: the handle is usable, Resume
+			// finishes the job.
+			return r, err
+		}
 		return nil, err
 	}
-	r.base = g.lastEpoch
-	r.Syncs = 1
-	r.BytesTotal = n
-	r.LastBytes = n
 	return r, nil
 }
 
-// Sync takes a checkpoint and ships the delta to the standby.
+// Sync takes a checkpoint and ships the delta to the standby. A pending
+// interrupted ship is completed first — its epoch must land before any
+// later delta can apply.
 func (r *Replica) Sync() error {
+	if err := r.Resume(); err != nil {
+		return err
+	}
 	cutStart := r.g.o.Clk.Now()
 	if _, err := r.g.Checkpoint(CkptIncremental); err != nil {
 		return err
@@ -59,29 +101,108 @@ func (r *Replica) Sync() error {
 	if err := r.g.Barrier(); err != nil {
 		return err
 	}
-	n, err := r.ship(r.base)
+	return r.ship(r.base, cutStart)
+}
+
+// Resume completes a ship interrupted by retry exhaustion, re-sending only
+// the frames the standby has not acked. No-op when nothing is pending.
+func (r *Replica) Resume() error {
+	if r.pending == nil {
+		return nil
+	}
+	p := r.pending
+	span := r.traceSpan("sls.replica.resume", trace.I("epoch", int64(p.epoch)))
+	st, err := r.conn.Transfer(p.epoch, p.data)
+	r.accumulate(st)
 	if err != nil {
+		span.End(trace.S("err", err.Error()))
+		return fmt.Errorf("sls: resuming replication of epoch %d: %w", p.epoch, err)
+	}
+	r.Resumes++
+	err = r.apply(p.epoch, p.newBase, int64(len(p.data)), p.cutStart)
+	r.pending = nil
+	span.End()
+	return err
+}
+
+// Pending reports whether an interrupted ship awaits Resume.
+func (r *Replica) Pending() bool { return r.pending != nil }
+
+// ship encodes (full when since==0, else delta), moves the stream to the
+// standby, and applies it there.
+func (r *Replica) ship(since objstore.Epoch, cutStart time.Duration) error {
+	var buf bytes.Buffer
+	if r.conn == nil {
+		cw := &countWriter{w: &buf}
+		if err := r.g.send(cw, since); err != nil {
+			return err
+		}
+		if _, err := r.dst.Recv(&buf); err != nil {
+			return err
+		}
+		r.commit(r.g.lastEpoch, cw.n, cutStart)
+		return nil
+	}
+
+	if _, err := r.g.encodeStream(&buf, since); err != nil {
 		return err
 	}
-	r.base = r.g.lastEpoch
+	epoch := uint64(r.g.lastEpoch)
+	span := r.traceSpan("sls.replica.ship",
+		trace.I("epoch", int64(epoch)), trace.I("bytes", int64(buf.Len())), trace.I("since", int64(since)))
+	st, err := r.conn.Transfer(epoch, buf.Bytes())
+	r.accumulate(st)
+	if err != nil {
+		// Keep the encoded stream: the receiver holds its partial progress
+		// under this epoch key, and Resume re-ships only the missing tail.
+		r.pending = &pendingShip{epoch: epoch, newBase: r.g.lastEpoch, data: buf.Bytes(), cutStart: cutStart}
+		span.End(trace.S("err", err.Error()))
+		return fmt.Errorf("sls: replicating epoch %d: %w", epoch, err)
+	}
+	err = r.apply(epoch, r.g.lastEpoch, int64(buf.Len()), cutStart)
+	span.End()
+	return err
+}
+
+// apply collects a completed transfer from the connection and applies it to
+// the standby store.
+func (r *Replica) apply(epoch uint64, newBase objstore.Epoch, n int64, cutStart time.Duration) error {
+	payload, ok := r.conn.Take(epoch)
+	if !ok {
+		return fmt.Errorf("sls: transfer for epoch %d reported done but is not takeable", epoch)
+	}
+	if _, err := r.dst.Recv(bytes.NewReader(payload)); err != nil {
+		return err
+	}
+	r.commit(newBase, n, cutStart)
+	return nil
+}
+
+// commit records a landed ship in the replica's accounting.
+func (r *Replica) commit(newBase objstore.Epoch, n int64, cutStart time.Duration) {
+	r.base = newBase
 	r.Syncs++
 	r.BytesTotal += n
 	r.LastBytes = n
 	r.LastLag = r.g.o.Clk.Now() - cutStart
-	return nil
+	if tr := r.g.o.Tracer; tr != nil {
+		tr.Count("sls.replica.syncs", 1)
+		tr.Count("sls.replica.bytes", n)
+		tr.Observe("sls.replica.lag.ns", int64(r.LastLag))
+	}
 }
 
-// ship streams (full when since==0, else delta) to the standby store.
-func (r *Replica) ship(since objstore.Epoch) (int64, error) {
-	var buf bytes.Buffer
-	cw := &countWriter{w: &buf}
-	if err := r.g.send(cw, since); err != nil {
-		return 0, err
+func (r *Replica) accumulate(st net.TransferStats) {
+	r.WireBytes += st.WireBytes
+	r.Retransmits += st.Retransmits
+	r.Backoffs += st.Backoffs
+}
+
+func (r *Replica) traceSpan(name string, args ...trace.Arg) trace.Span {
+	if r.g.o.Tracer == nil {
+		return trace.Span{}
 	}
-	if _, err := r.dst.Recv(&buf); err != nil {
-		return 0, err
-	}
-	return cw.n, nil
+	return r.g.o.Tracer.Begin(trace.TrackSLS, name, args...)
 }
 
 // Failover restores the application on the standby from the last synced

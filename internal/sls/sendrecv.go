@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"aurora/internal/net"
 	"aurora/internal/objstore"
 	"aurora/internal/rec"
 )
@@ -30,6 +31,22 @@ const (
 // streamMagic heads a checkpoint stream.
 const streamMagic = 0x41555253 // "AURS"
 
+// streamVersion is the stream format revision. v2 added source/base epochs
+// and the live-OID list to the head, making delta application verifiable
+// (a delta against a base the receiver does not hold is rejected before any
+// store mutation) and letting deltas delete objects that vanished between
+// epochs.
+const streamVersion = 2
+
+// maxStreamItem bounds one stream item's decoded size. The 4-byte length
+// header is attacker-controlled on a hostile wire; without a cap a corrupt
+// header drives an allocation of up to 4 GiB. Items are records, journals,
+// or single pages plus framing — 16 MiB is generous headroom.
+const maxStreamItem = 16 << 20
+
+// maxStreamOIDs bounds the head's live-OID list.
+const maxStreamOIDs = 1 << 20
+
 // Send writes the group's last committed state to w. The group must have
 // checkpointed at least once. Network transfer time is charged per byte.
 func (g *Group) Send(w io.Writer) error { return g.send(w, 0) }
@@ -45,9 +62,25 @@ func (g *Group) SendDelta(w io.Writer, since objstore.Epoch) error {
 	return g.send(w, since)
 }
 
+// send serializes the stream and charges direct-path wire time — the
+// in-process byte-copy transport, kept as the nil-link case.
 func (g *Group) send(w io.Writer, since objstore.Epoch) error {
+	sent, err := g.encodeStream(w, since)
+	if err != nil {
+		return err
+	}
+	// Wire time for the whole image.
+	g.o.Clk.Advance(g.o.Costs.NetRTT + time.Duration(sent)*g.o.Costs.NetPerByte)
+	return nil
+}
+
+// encodeStream serializes the group's last committed state (full when
+// since==0, delta otherwise) to w and returns the bytes written. No wire
+// time is charged: callers either charge the direct-path cost (send) or let
+// a simulated transport charge per frame (internal/net).
+func (g *Group) encodeStream(w io.Writer, since objstore.Epoch) (int64, error) {
 	if g.lastEpoch == 0 {
-		return fmt.Errorf("sls: group %q has no committed checkpoint to send", g.Name)
+		return 0, fmt.Errorf("sls: group %q has no committed checkpoint to send", g.Name)
 	}
 	bw := bufio.NewWriter(w)
 	sent := int64(0)
@@ -65,19 +98,13 @@ func (g *Group) send(w io.Writer, since objstore.Epoch) error {
 		return err
 	}
 
-	head := rec.NewEncoder()
-	head.U32(streamMagic)
-	head.Str(g.Name)
-	head.U64(uint64(g.oid))
-	head.Bool(since != 0) // delta stream
-	if err := emit(head.Seal()); err != nil {
-		return err
-	}
-
 	// Group record itself plus every object it referenced last epoch, in
 	// ascending-OID order: the stream must be byte-identical across runs
 	// of the same state (map iteration order would shuffle the items and
 	// break stream-level determinism checks and dedup on the receive side).
+	// Only objects that still exist are listed — the head's live list is
+	// the receiver's contract for which OIDs this epoch contains, and on a
+	// delta it deletes anything it holds that is no longer listed.
 	oids := make([]objstore.OID, 0, len(g.prevLive)+1)
 	oids = append(oids, g.oid)
 	rest := make([]objstore.OID, 0, len(g.prevLive))
@@ -88,29 +115,48 @@ func (g *Group) send(w io.Writer, since objstore.Epoch) error {
 	}
 	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
 	oids = append(oids, rest...)
+	live := oids[:0:0]
 	for _, oid := range oids {
-		if !g.o.Store.Exists(oid) {
-			continue
+		if g.o.Store.Exists(oid) {
+			live = append(live, oid)
 		}
+	}
+
+	head := rec.NewEncoder()
+	head.U32(streamMagic)
+	head.U8(streamVersion)
+	head.Str(g.Name)
+	head.U64(uint64(g.oid))
+	head.U64(uint64(g.lastEpoch)) // epoch this stream carries
+	head.U64(uint64(since))       // base epoch a delta applies over (0 = full)
+	head.U32(uint32(len(live)))
+	for _, oid := range live {
+		head.U64(uint64(oid))
+	}
+	if err := emit(head.Seal()); err != nil {
+		return 0, err
+	}
+
+	for _, oid := range live {
 		ut, err := g.o.Store.UType(oid)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if isJournalOID(g, oid) {
 			if err := g.sendJournal(oid, ut, emit); err != nil {
-				return err
+				return 0, err
 			}
 			continue
 		}
 		if ut == UTMemObject {
 			if err := g.sendPages(oid, since, emit); err != nil {
-				return err
+				return 0, err
 			}
 			continue
 		}
 		raw, err := g.o.Store.GetRecord(oid)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		e := rec.NewEncoder()
 		e.U8(itemRecord)
@@ -118,20 +164,18 @@ func (g *Group) send(w io.Writer, since objstore.Epoch) error {
 		e.U16(ut)
 		e.Bytes(raw)
 		if err := emit(e.Seal()); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	e := rec.NewEncoder()
 	e.U8(itemEnd)
 	if err := emit(e.Seal()); err != nil {
-		return err
+		return 0, err
 	}
 	if err := bw.Flush(); err != nil {
-		return err
+		return 0, err
 	}
-	// Wire time for the whole image.
-	g.o.Clk.Advance(g.o.Costs.NetRTT + time.Duration(sent)*g.o.Costs.NetPerByte)
-	return nil
+	return sent, nil
 }
 
 func isJournalOID(g *Group, oid objstore.OID) bool {
@@ -219,6 +263,16 @@ func (g *Group) sendJournal(oid objstore.OID, ut uint16, emit func([]byte) error
 	return emit(e.Seal())
 }
 
+// recvGroupState tracks what a receiver holds for one replicated group:
+// the epoch of the last applied stream and the OIDs it carried. Deltas are
+// validated against it (a delta whose base the receiver does not hold is
+// rejected before any store mutation) and it drives deletion of objects
+// that vanished between epochs.
+type recvGroupState struct {
+	epoch objstore.Epoch
+	live  map[objstore.OID]bool
+}
+
 // Recv reads a checkpoint stream into the local store and registers the
 // group in the manifest, committing when done. It returns the group name;
 // RestoreGroup then resumes the application.
@@ -229,7 +283,12 @@ func (o *Orchestrator) Recv(r io.Reader) (string, error) {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return nil, err
 		}
-		n := int(hdr[0]) | int(hdr[1])<<8 | int(hdr[2])<<16 | int(hdr[3])<<24
+		n := int64(hdr[0]) | int64(hdr[1])<<8 | int64(hdr[2])<<16 | int64(hdr[3])<<24
+		if n > maxStreamItem {
+			// The length header is untrusted input off the wire: a corrupt
+			// value must produce a decode error, not a giant allocation.
+			return nil, fmt.Errorf("%w: stream item of %d bytes exceeds cap %d", rec.ErrCorrupt, n, maxStreamItem)
+		}
 		body := make([]byte, n)
 		if _, err := io.ReadFull(br, body); err != nil {
 			return nil, err
@@ -244,11 +303,44 @@ func (o *Orchestrator) Recv(r io.Reader) (string, error) {
 	if head.U32() != streamMagic {
 		return "", fmt.Errorf("sls: not a checkpoint stream")
 	}
+	if v := head.U8(); v != streamVersion {
+		return "", fmt.Errorf("sls: checkpoint stream version %d, want %d", v, streamVersion)
+	}
 	name := head.Str()
 	groupOID := objstore.OID(head.U64())
-	delta := head.Bool()
+	srcEpoch := objstore.Epoch(head.U64())
+	baseEpoch := objstore.Epoch(head.U64())
+	nlive := int(head.U32())
 	if err := head.Err(); err != nil {
 		return "", err
+	}
+	if nlive > maxStreamOIDs {
+		return "", fmt.Errorf("%w: stream lists %d objects, cap %d", rec.ErrCorrupt, nlive, maxStreamOIDs)
+	}
+	live := make(map[objstore.OID]bool, nlive)
+	for i := 0; i < nlive && head.Err() == nil; i++ {
+		live[objstore.OID(head.U64())] = true
+	}
+	if err := head.Err(); err != nil {
+		return "", err
+	}
+	delta := baseEpoch != 0
+
+	// Validate a delta against what this receiver holds BEFORE any store
+	// mutation: applying page deltas over the wrong base would silently
+	// corrupt the standby image.
+	if o.recvState == nil {
+		o.recvState = make(map[string]*recvGroupState)
+	}
+	state := o.recvState[name]
+	if delta {
+		if state == nil {
+			return "", fmt.Errorf("sls: delta stream for group %q but no base image received", name)
+		}
+		if state.epoch != baseEpoch {
+			return "", fmt.Errorf("sls: delta stream for group %q needs base epoch %d, receiver holds %d",
+				name, baseEpoch, state.epoch)
+		}
 	}
 
 	// Pending page run state.
@@ -264,7 +356,27 @@ func (o *Orchestrator) Recv(r io.Reader) (string, error) {
 				if err := o.mergeManifest(name, groupOID); err != nil {
 					return "", err
 				}
+			} else {
+				// Objects the receiver holds from the base epoch that this
+				// epoch no longer lists were deleted on the source between
+				// epochs: drop them so the standby image matches.
+				stale := make([]objstore.OID, 0)
+				for oid := range state.live {
+					if !live[oid] && oid != ManifestOID {
+						stale = append(stale, oid)
+					}
+				}
+				sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+				for _, oid := range stale {
+					if !o.Store.Exists(oid) {
+						continue
+					}
+					if err := o.Store.Delete(oid); err != nil {
+						return "", err
+					}
+				}
 			}
+			o.recvState[name] = &recvGroupState{epoch: srcEpoch, live: live}
 			if _, err := o.Store.Checkpoint(); err != nil {
 				return "", err
 			}
@@ -347,24 +459,50 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Migrate performs iterative pre-copy live migration (§10): a full
-// checkpoint streams to dst, then `rounds` delta rounds resend only what
-// changed while the application kept running (work is called between
-// rounds to model that execution), then a final short stop-and-copy round
-// after which the destination restores and the source terminates. The
-// returned group is the application running on dst.
+// Migrate performs iterative pre-copy live migration (§10) over the direct
+// in-process path: a full checkpoint streams to dst, then `rounds` delta
+// rounds resend only what changed while the application kept running (work
+// is called between rounds to model that execution), then a final short
+// stop-and-copy round after which the destination restores and the source
+// terminates. The returned group is the application running on dst.
 func (g *Group) Migrate(dst *Orchestrator, rounds int, work func() error) (*Group, MigrateStats, error) {
+	return g.MigrateVia(dst, rounds, work, nil)
+}
+
+// MigrateVia is Migrate over a simulated network connection; conn == nil
+// selects the direct path. Each round ships as one resumable transfer keyed
+// by the round's checkpoint epoch: a wire fault mid-round retries inside
+// the transport, and a round that exhausts its retries surfaces the error
+// with the receiver's partial progress retained.
+func (g *Group) MigrateVia(dst *Orchestrator, rounds int, work func() error, conn *net.Conn) (*Group, MigrateStats, error) {
 	var st MigrateStats
 	stream := func(since objstore.Epoch) (int64, error) {
 		var buf bytes.Buffer
-		cw := &countWriter{w: &buf}
-		if err := g.send(cw, since); err != nil {
+		if conn == nil {
+			cw := &countWriter{w: &buf}
+			if err := g.send(cw, since); err != nil {
+				return 0, err
+			}
+			if _, err := dst.Recv(&buf); err != nil {
+				return 0, err
+			}
+			return cw.n, nil
+		}
+		if _, err := g.encodeStream(&buf, since); err != nil {
 			return 0, err
 		}
-		if _, err := dst.Recv(&buf); err != nil {
+		tst, err := conn.Transfer(uint64(g.lastEpoch), buf.Bytes())
+		if err != nil {
 			return 0, err
 		}
-		return cw.n, nil
+		payload, ok := conn.Take(uint64(g.lastEpoch))
+		if !ok {
+			return 0, fmt.Errorf("sls: transfer for epoch %d reported done but is not takeable", g.lastEpoch)
+		}
+		if _, err := dst.Recv(bytes.NewReader(payload)); err != nil {
+			return 0, err
+		}
+		return tst.WireBytes, nil
 	}
 
 	// Round 0: full image.

@@ -116,6 +116,11 @@ type Orchestrator struct {
 	mu        sync.Mutex
 	groups    map[uint64]*Group
 	nextGroup uint64
+
+	// recvState tracks, per replicated group, the epoch and live-OID set of
+	// the last checkpoint stream applied here — the receive-side contract
+	// that validates delta streams (see sendrecv.go).
+	recvState map[string]*recvGroupState
 }
 
 // New creates an orchestrator over a kernel and its store, installing the

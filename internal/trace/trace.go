@@ -41,6 +41,7 @@ const (
 	TrackObjstore              // store commit protocol and page batches
 	TrackDevice                // per-submit device activity
 	TrackFault                 // injected faults
+	TrackNet                   // replication wire: transfers, retries, link faults
 	numTracks
 )
 
@@ -57,6 +58,8 @@ func (t Track) String() string {
 		return "device"
 	case TrackFault:
 		return "fault"
+	case TrackNet:
+		return "net"
 	}
 	return fmt.Sprintf("track%d", uint8(t))
 }
