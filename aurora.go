@@ -26,8 +26,10 @@ import (
 	"io"
 	"time"
 
+	"aurora/internal/audit"
 	"aurora/internal/clock"
 	"aurora/internal/device"
+	"aurora/internal/flight"
 	"aurora/internal/kern"
 	"aurora/internal/mem"
 	"aurora/internal/net"
@@ -78,6 +80,12 @@ type (
 	Signal = kern.Signal
 	// Prot is a memory protection mask.
 	Prot = vm.Prot
+	// FlightEvent is one entry in the crash flight recorder.
+	FlightEvent = flight.Event
+	// AuditReport is the outcome of one invariant-watchdog pass.
+	AuditReport = audit.Report
+	// AuditViolation is one broken invariant found by the watchdog.
+	AuditViolation = audit.Violation
 )
 
 // Re-exported constants.
@@ -170,6 +178,15 @@ type Machine struct {
 	// Net is the replication wire description from Config.Net; nil selects
 	// the direct in-process path.
 	Net *NetConfig
+	// Flight is the machine's crash flight recorder: a bounded ring of
+	// structured events (checkpoints, flushes, device barriers, power
+	// cuts, replication ships, restores) persisted into the store on
+	// every checkpoint, so a rebooted machine can read the last moments
+	// before a crash. Always on — recording is a few stores per event.
+	Flight *flight.Recorder
+
+	auditor *audit.Auditor
+	wd      *audit.Watchdog
 }
 
 // NewMachine boots a machine with freshly formatted storage.
@@ -205,6 +222,11 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 		tr = trace.New(clk)
 	}
 	disk.SetTracer(tr)
+	// The flight ring is volatile state: a boot (or reboot) starts a fresh
+	// one. The pre-crash tail survives separately, as the object the store
+	// persisted on the last completed checkpoint — see RecoveredFlight.
+	fl := flight.NewRecorder(0)
+	disk.SetFlight(fl)
 
 	var (
 		store *objstore.Store
@@ -228,6 +250,7 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 		return nil, err
 	}
 	store.SetTracer(tr)
+	store.SetFlight(fl)
 	vmsys := vm.NewSystem(mem.New(cfg.MemoryBytes), clk, costs)
 	k := kern.New(clk, costs, vmsys, fs)
 	m := &Machine{
@@ -239,10 +262,43 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 		K:      k,
 		SLS:    sls.New(k, store),
 		Tracer: tr,
+		Flight: fl,
 	}
 	m.SLS.Tracer = tr
 	m.Net = cfg.Net
 	return m, nil
+}
+
+// RecoveredFlight returns the pre-crash flight timeline: the event ring the
+// previous incarnation of this machine persisted on its last completed
+// checkpoint. ok is false on a freshly formatted machine that has never
+// checkpointed. The returned events are the forensic record of what the
+// system was doing in the moments leading up to its final commit.
+func (m *Machine) RecoveredFlight() (evs []FlightEvent, seq uint64, ok bool, err error) {
+	return m.Store.RecoveredFlight()
+}
+
+// Audit runs the invariant watchdog once over the live machine — VM shadow
+// chains and page tables, kernel descriptor tables, the store's allocation
+// maps, group and replication epochs — and returns the report. Violations
+// are also recorded as flight events and trace counters. The auditor keeps
+// memory between calls (epoch monotonicity is a between-passes invariant).
+func (m *Machine) Audit() AuditReport {
+	if m.auditor == nil {
+		m.auditor = &audit.Auditor{
+			Store: m.Store, K: m.K, O: m.SLS,
+			Fl: m.Flight, Tr: m.Tracer, Clk: m.Clock,
+		}
+	}
+	return m.auditor.Run()
+}
+
+// StartWatchdog arms periodic auditing: RunPeriodic calls the watchdog
+// between workload iterations and fails fast on any violation. interval <= 0
+// selects the default cadence.
+func (m *Machine) StartWatchdog(interval time.Duration) {
+	m.Audit() // force the auditor into existence and take a baseline
+	m.wd = &audit.Watchdog{A: m.auditor, Interval: interval}
 }
 
 // NewConn builds a replication connection over this machine's clock from a
@@ -261,7 +317,9 @@ func (m *Machine) NewConn(nc *NetConfig) *NetConn {
 		params = net.DefaultParams()
 	}
 	pipe := net.NewPipe(m.Clock, params, nc.Fwd, nc.Rev)
-	return net.NewConn(pipe, m.Clock, nc.Conn, m.Tracer)
+	conn := net.NewConn(pipe, m.Clock, nc.Conn, m.Tracer)
+	conn.SetFlight(m.Flight)
+	return conn
 }
 
 // Crash simulates power loss and reboot: all volatile state (kernel,
@@ -330,14 +388,27 @@ func (m *Machine) Checkpoint(group string) (CheckpointStats, error) {
 }
 
 // Restore rebuilds the named group from the store's last complete
-// checkpoint — the sls restore command after a crash.
+// checkpoint — the sls restore command after a crash. The rebuilt state
+// passes through the invariant watchdog before being handed back: a restore
+// that resurrects a broken object graph is an error, not a success.
 func (m *Machine) Restore(group string) (*Group, RestoreStats, error) {
-	return m.SLS.RestoreGroup(group, m.Store, RestoreEager, true)
+	return m.restoreChecked(group, RestoreEager)
 }
 
 // RestoreLazily is Restore with on-demand page loading.
 func (m *Machine) RestoreLazily(group string) (*Group, RestoreStats, error) {
-	return m.SLS.RestoreGroup(group, m.Store, RestoreLazy, true)
+	return m.restoreChecked(group, RestoreLazy)
+}
+
+func (m *Machine) restoreChecked(group string, mode sls.RestoreMode) (*Group, RestoreStats, error) {
+	g, st, err := m.SLS.RestoreGroup(group, m.Store, mode, true)
+	if err != nil {
+		return g, st, err
+	}
+	if rep := m.Audit(); !rep.OK() {
+		return g, st, fmt.Errorf("aurora: post-restore self-check failed: %s", rep)
+	}
+	return g, st, nil
 }
 
 // RestoreAt rebuilds the named group as of a retained checkpoint epoch —
@@ -408,6 +479,11 @@ func (m *Machine) RunPeriodic(group string, dur time.Duration, fn func() error) 
 		}
 		if _, _, err := g.MaybePeriodic(); err != nil {
 			return err
+		}
+		if m.wd != nil {
+			if rep, ran := m.wd.MaybeRun(m.Clock.Now()); ran && !rep.OK() {
+				return fmt.Errorf("aurora: watchdog: %s", rep)
+			}
 		}
 	}
 	return nil

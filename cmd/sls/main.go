@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -75,6 +76,12 @@ func run() error {
 		return cmdReplicate(*img, args)
 	case "fsck":
 		return cmdFsck(*img)
+	case "inspect":
+		return cmdInspect(*img, args)
+	case "audit":
+		return cmdAudit(*img, args)
+	case "flight":
+		return cmdFlight(*img, args)
 	case "trace":
 		return cmdTrace(args)
 	default:
@@ -100,6 +107,11 @@ commands:
   replicate -name N -dst FILE       keep a warm standby in another image,
                                     syncing over a simulated lossy wire
   fsck                              verify store consistency
+  inspect [-name N] [-json] [-tail K]
+                                    machine summary: store, groups, flight
+                                    recorder tail, invariant audit
+  audit [-name N]                   run the invariant watchdog once
+  flight [-tail K]                  dump the pre-crash flight timeline
   trace [-steps K] [-o FILE]        run the demo under the tracer and
                                     export a Chrome trace-event file`)
 }
@@ -235,6 +247,17 @@ func cmdRestore(img string, args []string) error {
 	m, err := boot(img)
 	if err != nil {
 		return err
+	}
+	// Forensics first: what the machine was doing before it went down.
+	if evs, _, ok, ferr := m.RecoveredFlight(); ferr == nil && ok {
+		const tail = 8
+		if len(evs) > tail {
+			evs = evs[len(evs)-tail:]
+		}
+		fmt.Printf("pre-crash flight tail (%d events, 'sls flight' for more):\n", len(evs))
+		for _, ev := range evs {
+			fmt.Printf("  %s\n", ev)
+		}
 	}
 	g, rst, err := m.Restore(*name)
 	if err != nil {
@@ -456,6 +479,91 @@ func cmdFsck(img string) error {
 		return fmt.Errorf("%d problems found", len(rep.Problems))
 	}
 	fmt.Println("store is consistent")
+	return nil
+}
+
+// cmdInspect prints the machine's /proc-like introspection page: store
+// occupancy, per-group process/VM/descriptor tables, the flight-recorder
+// tail (live and pre-crash), and an invariant-audit report. With -name the
+// group is first restored (lazily, without saving the image back) so its
+// live tables appear; without it only persisted state shows.
+func cmdInspect(img string, args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	name := fs.String("name", "", "restore this group before inspecting")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON")
+	tail := fs.Int("tail", 16, "flight-recorder events to show")
+	fs.Parse(args)
+
+	m, err := boot(img)
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		if _, _, err := m.RestoreLazily(*name); err != nil {
+			return err
+		}
+	}
+	r := m.Inspect(*tail)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	}
+	fmt.Print(r.Text())
+	return nil
+}
+
+// cmdAudit runs the invariant watchdog once and fails if anything is wrong.
+func cmdAudit(img string, args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	name := fs.String("name", "", "restore this group before auditing")
+	fs.Parse(args)
+
+	m, err := boot(img)
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		if _, _, err := m.RestoreLazily(*name); err != nil {
+			return err
+		}
+	}
+	rep := m.Audit()
+	fmt.Println(rep)
+	if !rep.OK() {
+		return fmt.Errorf("%d invariant violations", len(rep.Violations))
+	}
+	return nil
+}
+
+// cmdFlight dumps the forensic timeline: the flight-recorder ring persisted
+// by the machine's last completed checkpoint — the last N things the system
+// did before it stopped, surviving power cuts and torn writes like any
+// other object in the store.
+func cmdFlight(img string, args []string) error {
+	fs := flag.NewFlagSet("flight", flag.ExitOnError)
+	tail := fs.Int("tail", 32, "events to show")
+	fs.Parse(args)
+
+	m, err := boot(img)
+	if err != nil {
+		return err
+	}
+	evs, seq, ok, err := m.RecoveredFlight()
+	if err != nil {
+		return fmt.Errorf("flight ring: %w", err)
+	}
+	if !ok {
+		fmt.Println("no flight timeline on this image (no completed checkpoint yet)")
+		return nil
+	}
+	if len(evs) > *tail {
+		evs = evs[len(evs)-*tail:]
+	}
+	fmt.Printf("pre-crash flight timeline (%d events, seq %d):\n", len(evs), seq)
+	for _, ev := range evs {
+		fmt.Printf("  %s\n", ev)
+	}
 	return nil
 }
 

@@ -12,6 +12,11 @@
 // virtual-clock tracer and its timeline is written to FILE as Chrome
 // trace-event JSON (loadable in ui.perfetto.dev), with a text rollup on
 // stdout. -trace works standalone, with no experiment arguments.
+//
+// With -inspect, the same scenario additionally prints the machine's
+// introspection page after the restore — store/group tables, the recovered
+// pre-crash flight timeline, and the invariant-audit report — and fails if
+// the audit finds violations.
 package main
 
 import (
@@ -40,6 +45,7 @@ func wrap[T renderer](fn func(experiments.Scale) (T, error)) func(experiments.Sc
 func main() {
 	quick := flag.Bool("quick", false, "CI-sized working sets")
 	traceOut := flag.String("trace", "", "write a Chrome trace of a checkpoint+restore run to FILE")
+	inspect := flag.Bool("inspect", false, "print the post-restore introspection page and audit report")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -47,8 +53,8 @@ func main() {
 		scale = experiments.Quick
 	}
 
-	if *traceOut != "" {
-		if err := runTrace(*traceOut, scale); err != nil {
+	if *traceOut != "" || *inspect {
+		if err := runTrace(*traceOut, scale, *inspect); err != nil {
 			fmt.Fprintf(os.Stderr, "slsbench: trace: %v\n", err)
 			os.Exit(1)
 		}
@@ -113,7 +119,7 @@ func main() {
 // in — enough activity that the exported timeline has spans on every track
 // (sls, flush, objstore, device) — then writes the Chrome trace to path and
 // prints the rollup.
-func runTrace(path string, scale experiments.Scale) error {
+func runTrace(path string, scale experiments.Scale, inspect bool) error {
 	pages := int64(256)
 	if scale == experiments.Quick {
 		pages = 64
@@ -161,15 +167,24 @@ func runTrace(path string, scale experiments.Scale) error {
 		}
 	}
 
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m2.Tracer.WriteChrome(f); err != nil {
+			return err
+		}
+		fmt.Print(m2.Tracer.Rollup())
+		fmt.Printf("[trace written to %s]\n\n", path)
 	}
-	defer f.Close()
-	if err := m2.Tracer.WriteChrome(f); err != nil {
-		return err
+	if inspect {
+		r := m2.Inspect(16)
+		fmt.Print(r.Text())
+		if !r.Audit.OK() {
+			return fmt.Errorf("invariant audit failed: %s", r.Audit)
+		}
 	}
-	fmt.Print(m2.Tracer.Rollup())
-	fmt.Printf("[trace written to %s]\n\n", path)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/trace"
 )
 
@@ -39,6 +40,7 @@ type Device struct {
 	clk   clock.Clock
 	costs *clock.Costs
 	tr    *trace.Tracer
+	fl    *flight.Recorder
 
 	mu       sync.Mutex
 	size     int64
@@ -68,6 +70,14 @@ func (d *Device) Stats() Stats {
 // SetTracer attaches tr to the device; nil disables tracing. Wire it at
 // build time — it is not synchronized against in-flight IO.
 func (d *Device) SetTracer(tr *trace.Tracer) { d.tr = tr }
+
+// SetFlight attaches the flight recorder; nil disables it. Only ordered
+// submissions (SubmitWriteAfter with a real barrier) are recorded: those
+// are the commit points — superblock writes — and they arrive from the
+// single-threaded commit path, keeping the ring deterministic. Recording
+// every data submit would flood the ring and, under a parallel flush,
+// interleave nondeterministically.
+func (d *Device) SetFlight(fl *flight.Recorder) { d.fl = fl }
 
 // traceSubmit records one queued command on the device track. now is the
 // submitting thread's virtual time, start/done come from the queue model,
@@ -188,6 +198,9 @@ func (d *Device) SubmitWriteAfter(p []byte, off int64, after time.Duration) (tim
 		traceSubmit(d.tr, "dev.write_after", now, start, done, stall, int64(len(p)), off)
 	}
 	d.mu.Unlock()
+	if after > 0 {
+		d.fl.Record(int64(now), flight.EvDevWrite, off, int64(len(p)), int64(after), "")
+	}
 	return done, nil
 }
 
@@ -358,6 +371,7 @@ type Stripe struct {
 	clk   clock.Clock
 	costs *clock.Costs
 	tr    *trace.Tracer
+	fl    *flight.Recorder
 	devs  []*Device
 	unit  int64
 }
@@ -365,6 +379,11 @@ type Stripe struct {
 // SetTracer attaches tr to the stripe; nil disables tracing. Member-device
 // submits issued through the stripe are recorded with their member index.
 func (s *Stripe) SetTracer(tr *trace.Tracer) { s.tr = tr }
+
+// SetFlight attaches the flight recorder; nil disables it. Like
+// Device.SetFlight, only ordered (barrier) submissions are recorded, one
+// event per stripe-level call rather than per member transfer.
+func (s *Stripe) SetFlight(fl *flight.Recorder) { s.fl = fl }
 
 // NewStripe builds a stripe set of n fresh devices of perDevSize bytes each.
 func NewStripe(clk clock.Clock, costs *clock.Costs, n int, unit, perDevSize int64) *Stripe {
@@ -535,6 +554,9 @@ func (s *Stripe) SubmitWriteAfter(p []byte, off int64, after time.Duration) (tim
 		if t > done {
 			done = t
 		}
+	}
+	if after > 0 {
+		s.fl.Record(int64(s.clk.Now()), flight.EvDevWrite, off, int64(len(p)), int64(after), "")
 	}
 	return done, nil
 }

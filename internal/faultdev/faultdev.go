@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/trace"
 )
 
@@ -118,6 +119,7 @@ type Dev struct {
 	inner Inner
 	clk   clock.Clock
 	tr    *trace.Tracer
+	fl    *flight.Recorder
 
 	mu      sync.Mutex
 	plan    Plan
@@ -126,6 +128,14 @@ type Dev struct {
 	crashed bool
 	cutAt   int64 // submit index of the crash, for error messages
 	pending []pendingWrite
+
+	// crashLog accumulates the fault events themselves (cut, rollbacks,
+	// tearing). These can never appear in the store-persisted flight ring —
+	// the checkpoint they interrupt by definition never commits — so the
+	// device keeps them across Reopen, the way the black box of a crashed
+	// machine outlives the machine. A recovered forensic timeline is the
+	// persisted ring followed by this log.
+	crashLog []flight.Event
 }
 
 // New wraps inner with the given fault plan. Pass CutAtSubmit: -1 for a
@@ -185,6 +195,32 @@ func (d *Dev) SetTracer(tr *trace.Tracer) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.tr = tr
+}
+
+// SetFlight attaches the flight recorder; nil disables it. Fault events
+// are additionally kept in the device-resident crash log (see CrashLog),
+// which survives Reopen the way the recorder — rebuilt per boot — cannot.
+func (d *Dev) SetFlight(fl *flight.Recorder) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fl = fl
+}
+
+// CrashLog returns the fault events recorded by every crash so far,
+// oldest-first. It persists across Reopen: media survives a power cut even
+// though the in-memory recorder does not.
+func (d *Dev) CrashLog() []flight.Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]flight.Event(nil), d.crashLog...)
+}
+
+// logEvent records a fault event into both the live flight ring and the
+// persistent crash log. Requires mu.
+func (d *Dev) logEvent(kind flight.Kind, a, b, c int64, detail string) {
+	ev := flight.Event{At: int64(d.clk.Now()), Kind: kind, A: a, B: b, C: c, Detail: detail}
+	d.fl.Record(ev.At, ev.Kind, ev.A, ev.B, ev.C, ev.Detail)
+	d.crashLog = append(d.crashLog, ev)
 }
 
 // Reopen models plugging the machine back in: the device serves IO again
@@ -258,6 +294,8 @@ func (d *Dev) crashLocked(idx int64, vec [][]byte, off, total int64, after time.
 			trace.I("torn", boolInt(d.plan.Torn)),
 			trace.I("pending", int64(len(d.pending))))
 	}
+	d.logEvent(flight.EvPowerCut, idx, off, total,
+		fmt.Sprintf("seed=%d torn=%v pending=%d", d.plan.Seed, d.plan.Torn, len(d.pending)))
 	if d.plan.DropInFlight {
 		// The rest were still in member queues: power loss drops them.
 		// Pre-images are rolled back newest-first so overlapping writes
@@ -269,6 +307,7 @@ func (d *Dev) crashLocked(idx int64, vec [][]byte, off, total int64, after time.
 					trace.I("off", d.pending[i].off),
 					trace.I("bytes", int64(len(d.pending[i].pre))))
 			}
+			d.logEvent(flight.EvRollback, d.pending[i].off, int64(len(d.pending[i].pre)), 0, "")
 		}
 		if after > now {
 			// An ordered submit whose constraint lies past the cut instant
@@ -296,6 +335,7 @@ func (d *Dev) crashLocked(idx int64, vec [][]byte, off, total int64, after time.
 			d.tr.Instant(trace.TrackFault, "torn",
 				trace.I("off", off), trace.I("landed", landed), trace.I("of", total))
 		}
+		d.logEvent(flight.EvTornWrite, off, landed, total, "")
 	}
 	d.crashed = true
 	d.cutAt = idx

@@ -15,6 +15,7 @@ import (
 
 	"aurora/internal/clock"
 	"aurora/internal/device"
+	"aurora/internal/flight"
 	"aurora/internal/objstore"
 	"aurora/internal/trace"
 )
@@ -50,7 +51,8 @@ type Ctl struct {
 	Dev   *Dev
 	Clk   *clock.Virtual
 	Costs *clock.Costs
-	Tr    *trace.Tracer // non-nil only on traced failure replays
+	Tr    *trace.Tracer    // non-nil only on traced failure replays
+	Fl    *flight.Recorder // live flight ring, persisted by every Commit
 
 	points []commitPoint
 }
@@ -158,7 +160,15 @@ func (h *Harness) newRun(plan Plan, traced bool) (*Ctl, error) {
 		return nil, fmt.Errorf("format: %w", err)
 	}
 	s.SetTracer(tr)
-	ctl := &Ctl{Store: s, Dev: fd, Clk: clk, Costs: costs, Tr: tr}
+	// Every run carries a flight recorder: the stripe logs barrier writes,
+	// the fault device logs cuts/tears/rollbacks, and the store persists
+	// the ring into FlightOID on each commit — so every recovered image
+	// carries its own pre-crash timeline.
+	fl := flight.NewRecorder(0)
+	stripe.SetFlight(fl)
+	fd.SetFlight(fl)
+	s.SetFlight(fl)
+	ctl := &Ctl{Store: s, Dev: fd, Clk: clk, Costs: costs, Tr: tr, Fl: fl}
 	ctl.record()
 	fd.Arm(plan)
 	return ctl, nil
@@ -270,6 +280,12 @@ func (h *Harness) replayAttempt(points []commitPoint, k int64, traced bool) erro
 	if rep := s2.Fsck(); !rep.OK() {
 		return fail("fsck found %d problems after recovery: %v", len(rep.Problems), rep.Problems)
 	}
+	if problems := s2.AuditLive(); len(problems) > 0 {
+		return fail("post-recovery audit found %d violations: %v", len(problems), problems)
+	}
+	if err := verifyFlightTimeline(s2, ctl.Dev, k, h.Torn, h.DropInFlight); err != nil {
+		return fail("flight timeline: %v", err)
+	}
 
 	// Atomicity: under the prefix model the recovered epoch must be the
 	// last whose commit fully preceded the cut — or, exactly when the cut
@@ -311,6 +327,62 @@ func (h *Harness) replayAttempt(points []commitPoint, k int64, traced bool) erro
 	}
 	if err := compareSnapshot(s2, golden.snap); err != nil {
 		return fail("recovered image differs from epoch %d golden: %v", golden.epoch, err)
+	}
+	return nil
+}
+
+// verifyFlightTimeline checks the forensics claim on a recovered store:
+// the persisted flight ring (if any epoch carrying one committed) must
+// decode cleanly and contain only events from before the cut, and the
+// device crash log must name the power cut at exactly the swept submit
+// index — the recovered timeline explains which write killed the machine.
+func verifyFlightTimeline(s *objstore.Store, dev *Dev, k int64, torn, dropInFlight bool) error {
+	log := dev.CrashLog()
+	var cut *flight.Event
+	for i := range log {
+		if log[i].Kind == flight.EvPowerCut {
+			if cut != nil {
+				return fmt.Errorf("crash log has multiple power cuts:\n%s", flight.Format(log))
+			}
+			cut = &log[i]
+		}
+	}
+	if cut == nil {
+		return fmt.Errorf("crash log has no power-cut event:\n%s", flight.Format(log))
+	}
+	if cut.A != k {
+		return fmt.Errorf("power-cut event at submit %d, want %d", cut.A, k)
+	}
+	if torn && !dropInFlight {
+		found := false
+		for _, ev := range log {
+			if ev.Kind == flight.EvTornWrite {
+				if ev.A != cut.B {
+					return fmt.Errorf("torn write at off %d but cut was at off %d", ev.A, cut.B)
+				}
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("torn plan produced no torn-write event:\n%s", flight.Format(log))
+		}
+	}
+	evs, _, ok, err := s.RecoveredFlight()
+	if err != nil {
+		return fmt.Errorf("persisted ring corrupt: %v", err)
+	}
+	if !ok {
+		// Recovery landed on the formatted image, which predates the
+		// recorder's first persisted snapshot — nothing more to check.
+		return nil
+	}
+	for _, ev := range evs {
+		if ev.At > cut.At {
+			return fmt.Errorf("persisted event postdates the cut (%d > %d): %v", ev.At, cut.At, ev)
+		}
+		if ev.Kind == flight.EvPowerCut {
+			return fmt.Errorf("persisted ring contains the power cut that interrupted it: %v", ev)
+		}
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/rec"
 	"aurora/internal/trace"
 )
@@ -198,9 +199,16 @@ type Conn struct {
 	clk   clock.Clock
 	cfg   Config
 	tr    *trace.Tracer
+	fl    *flight.Recorder
 	sess  map[uint64]*session
 	stats ConnStats
 }
+
+// SetFlight attaches a flight recorder. Only transfer resumes are recorded
+// — the single moment worth a forensic mark: a resume proves the wire
+// failed mid-ship and the session survived it. Per-frame events would bury
+// the ring under retransmit noise.
+func (c *Conn) SetFlight(fl *flight.Recorder) { c.fl = fl }
 
 // NewConn builds a connection over pipe. cfg zero-values select defaults;
 // tr may be nil.
@@ -438,6 +446,7 @@ func (c *Conn) Transfer(epoch uint64, payload []byte) (TransferStats, error) {
 				trace.I("epoch", int64(epoch)), trace.I("from", int64(base)), trace.I("total", int64(total)))
 			c.tr.Count("net.resumes", 1)
 		}
+		c.fl.Record(int64(c.clk.Now()), flight.EvNetResume, int64(epoch), int64(base), int64(total), "")
 	}
 
 	rto := c.cfg.RTO

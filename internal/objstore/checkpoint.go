@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/trace"
 )
 
@@ -32,6 +33,7 @@ type CheckpointStats struct {
 // returned stats carry the virtual durability time, which callers such as
 // the orchestrator wait on before externalizing effects.
 func (s *Store) Checkpoint() (CheckpointStats, error) {
+	s.persistFlight()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	sw := clock.StartStopwatch(s.clk)
@@ -195,6 +197,20 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	return st, nil
 }
 
+// persistFlight serializes the flight ring into the reserved FlightOID so
+// the committing checkpoint carries the event history that led up to it.
+// It runs before the commit takes s.mu (PutRecord locks internally); events
+// recorded during the commit itself land in the next epoch's snapshot.
+func (s *Store) persistFlight() {
+	if s.fl == nil {
+		return
+	}
+	snap := s.fl.Snapshot()
+	// The ring is bounded (flight.DefaultCap events, capped details), so
+	// the snapshot stays an inline record — one contiguous write per epoch.
+	_ = s.PutRecord(FlightOID, flight.UType, snap)
+}
+
 // indexState snapshots the allocator and object table for encoding. Staged
 // released blocks are serialized as free — if this commit's superblock
 // lands they are genuinely unreferenced, and if it doesn't, recovery reads
@@ -235,11 +251,19 @@ func (s *Store) indexState(cur Epoch) *indexState {
 func (s *Store) WaitDurable(epoch Epoch) error {
 	s.mu.Lock()
 	t, ok := s.durableAt[epoch]
+	first := false
+	if ok && !s.settled[epoch] {
+		s.settled[epoch] = true
+		first = true
+	}
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoEpoch, epoch)
 	}
 	s.dev.WaitUntil(t)
+	if first {
+		s.fl.Record(int64(s.clk.Now()), flight.EvDevSettle, int64(epoch), int64(t), 0, "")
+	}
 	return nil
 }
 

@@ -31,12 +31,18 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/mem"
 	"aurora/internal/trace"
 )
 
 // OID names an object in the store.
 type OID uint64
+
+// FlightOID is the reserved object holding the serialized flight-recorder
+// ring. It sits at the top of the OID space, out of reach of the bump
+// allocator, and is rewritten on every checkpoint (see Checkpoint).
+const FlightOID = OID(flight.StoreOID)
 
 // Epoch numbers checkpoints; epoch 0 is the formatted-empty state.
 type Epoch uint64
@@ -154,6 +160,11 @@ type Store struct {
 	clk   clock.Clock
 	costs *clock.Costs
 	tr    *trace.Tracer
+	fl    *flight.Recorder
+
+	// settled notes epochs whose durability has been waited on, so the
+	// flight ring records one settle event per epoch, not one per wait.
+	settled map[Epoch]bool
 
 	epoch    Epoch // last committed epoch
 	nextOID  OID
@@ -217,6 +228,7 @@ func Format(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
 		deleted:   make(map[OID]bool),
 		durableAt: make(map[Epoch]time.Duration),
 		birthOf:   make(map[int64]Epoch),
+		settled:   make(map[Epoch]bool),
 	}
 	if _, err := s.Checkpoint(); err != nil {
 		return nil, err
@@ -240,6 +252,7 @@ func Recover(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) 
 		deleted:   make(map[OID]bool),
 		durableAt: make(map[Epoch]time.Duration),
 		birthOf:   make(map[int64]Epoch),
+		settled:   make(map[Epoch]bool),
 	}
 	sb, slot, err := s.readSuperblocks()
 	if err != nil {
@@ -256,6 +269,34 @@ func Recover(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) 
 // SetTracer attaches tr to the store; nil disables tracing. Wire it at
 // build time — it is not synchronized against in-flight operations.
 func (s *Store) SetTracer(tr *trace.Tracer) { s.tr = tr }
+
+// SetFlight attaches the flight recorder; nil disables it. Each Checkpoint
+// serializes the ring into FlightOID before committing, so the recent event
+// history persists and replicates with the rest of the store. Wire it at
+// build time, like the tracer.
+func (s *Store) SetFlight(fl *flight.Recorder) { s.fl = fl }
+
+// Flight returns the attached flight recorder (nil if none).
+func (s *Store) Flight() *flight.Recorder { return s.fl }
+
+// RecoveredFlight decodes the flight ring persisted by the last committed
+// checkpoint: the pre-crash forensic timeline after a recovery. It returns
+// the events oldest-first plus the recorder's sequence number at snapshot
+// time; ok is false if no flight object was ever committed.
+func (s *Store) RecoveredFlight() (evs []flight.Event, seq uint64, ok bool, err error) {
+	s.mu.Lock()
+	_, exists := s.objects[FlightOID]
+	s.mu.Unlock()
+	if !exists {
+		return nil, 0, false, nil
+	}
+	buf, err := s.GetRecord(FlightOID)
+	if err != nil {
+		return nil, 0, true, err
+	}
+	evs, seq, err = flight.Decode(buf)
+	return evs, seq, true, err
+}
 
 // ReopenAfterCrash abandons this store's in-memory state and re-runs crash
 // recovery against the same device — what a reboot does. The receiver must
@@ -329,7 +370,10 @@ func (s *Store) ensure(oid OID, utype uint16) *object {
 	if !ok {
 		o = &object{oid: oid, utype: utype, birth: s.curEpoch()}
 		s.objects[oid] = o
-		if oid >= s.nextOID {
+		// Reserved OIDs at the very top of the space (FlightOID) must not
+		// bump the allocator: oid+1 would wrap to 0 and restart allocation
+		// over live objects.
+		if oid >= s.nextOID && oid+1 != 0 {
 			s.nextOID = oid + 1
 		}
 		delete(s.deleted, oid)

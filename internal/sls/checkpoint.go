@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/kern"
 	"aurora/internal/mem"
 	"aurora/internal/objstore"
@@ -61,6 +62,8 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	// exactly — summing them reproduces StopTime, which is what the trace
 	// acceptance test asserts.
 	ckptSpan := o.Tracer.Begin(trace.TrackSLS, "checkpoint", trace.I("kind", int64(kind)))
+	o.Store.Flight().Record(int64(o.Clk.Now()), flight.EvCheckpointBegin,
+		int64(g.oid), g.ckpts+1, int64(kind), g.Name)
 	stopSpan := ckptSpan.Child("stop")
 	quiesceSpan := stopSpan.Child("quiesce")
 
@@ -191,6 +194,15 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	plan := newFlushPlan()
 	g.planPairs(plan, pairs, kind)
 	g.planCold(plan, ser)
+	// Flush jobs are recorded at plan time, on the coordinator: the worker
+	// pool drains them in nondeterministic order, and the flight ring (like
+	// the store images it persists into) must be identical run to run.
+	if fl := o.Store.Flight(); fl != nil {
+		now := int64(o.Clk.Now())
+		for _, j := range plan.jobs {
+			fl.Record(now, flight.EvFlushJob, int64(g.oid), int64(j.toid), int64(len(j.sources)), "")
+		}
+	}
 	flushSpan := ckptSpan.Child("flush")
 	res, err := g.runFlush(plan)
 	if err != nil {
@@ -224,6 +236,8 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	if err != nil {
 		return st, err
 	}
+	o.Store.Flight().Record(int64(o.Clk.Now()), flight.EvCheckpointEnd,
+		int64(g.oid), int64(cst.Epoch), res.bytes, g.Name)
 	st.Epoch = cst.Epoch
 	st.DurableAt = cst.DurableAt
 	g.lastEpoch = cst.Epoch

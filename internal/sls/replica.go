@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"aurora/internal/flight"
 	"aurora/internal/net"
 	"aurora/internal/objstore"
 	"aurora/internal/trace"
@@ -112,6 +113,9 @@ func (r *Replica) Resume() error {
 	}
 	p := r.pending
 	span := r.traceSpan("sls.replica.resume", trace.I("epoch", int64(p.epoch)))
+	if fl := r.g.o.Store.Flight(); fl != nil {
+		fl.Record(int64(r.g.o.Clk.Now()), flight.EvReplResume, int64(p.epoch), int64(len(p.data)), 0, "")
+	}
 	st, err := r.conn.Transfer(p.epoch, p.data)
 	r.accumulate(st)
 	if err != nil {
@@ -150,6 +154,9 @@ func (r *Replica) ship(since objstore.Epoch, cutStart time.Duration) error {
 	epoch := uint64(r.g.lastEpoch)
 	span := r.traceSpan("sls.replica.ship",
 		trace.I("epoch", int64(epoch)), trace.I("bytes", int64(buf.Len())), trace.I("since", int64(since)))
+	if fl := r.g.o.Store.Flight(); fl != nil {
+		fl.Record(int64(r.g.o.Clk.Now()), flight.EvReplShip, int64(epoch), int64(buf.Len()), int64(since), "")
+	}
 	st, err := r.conn.Transfer(epoch, buf.Bytes())
 	r.accumulate(st)
 	if err != nil {

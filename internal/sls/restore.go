@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/kern"
 	"aurora/internal/mem"
 	"aurora/internal/objstore"
@@ -104,6 +105,9 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 	st.Lazy = mode == RestoreLazy
 	restSpan := o.Tracer.Begin(trace.TrackSLS, "restore",
 		trace.S("group", name), trace.I("lazy", boolInt(st.Lazy)))
+	if fl := o.Store.Flight(); fl != nil {
+		fl.Record(int64(o.Clk.Now()), flight.EvRestore, int64(o.Store.Epoch()), boolInt(st.Lazy), boolInt(continuing), name)
+	}
 
 	// 1. Manifest -> group record.
 	groupOID, err := o.findGroupOID(src, name)

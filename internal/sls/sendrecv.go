@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"aurora/internal/flight"
 	"aurora/internal/net"
 	"aurora/internal/objstore"
 	"aurora/internal/rec"
@@ -360,9 +361,12 @@ func (o *Orchestrator) Recv(r io.Reader) (string, error) {
 				// Objects the receiver holds from the base epoch that this
 				// epoch no longer lists were deleted on the source between
 				// epochs: drop them so the standby image matches.
+				// ManifestOID and FlightOID live outside any group's live
+				// set: the manifest indexes every group on the receiver, and
+				// the flight ring is the receiver's own forensic record.
 				stale := make([]objstore.OID, 0)
 				for oid := range state.live {
-					if !live[oid] && oid != ManifestOID {
+					if !live[oid] && oid != ManifestOID && oid != objstore.FlightOID {
 						stale = append(stale, oid)
 					}
 				}
@@ -375,6 +379,9 @@ func (o *Orchestrator) Recv(r io.Reader) (string, error) {
 						return "", err
 					}
 				}
+			}
+			if fl := o.Store.Flight(); fl != nil {
+				fl.Record(int64(o.Clk.Now()), flight.EvRecv, int64(srcEpoch), int64(baseEpoch), int64(len(live)), name)
 			}
 			o.recvState[name] = &recvGroupState{epoch: srcEpoch, live: live}
 			if _, err := o.Store.Checkpoint(); err != nil {

@@ -98,6 +98,33 @@ func (m *Map) ResidentBytes() int64 {
 	return int64(len(m.ptes)) * PageSize
 }
 
+// AuditPTEs calls fn for every installed page-table entry, in ascending
+// virtual-address order, with the owning object recorded at install time.
+// For the invariant auditor: it needs the PTE->object association (private
+// elsewhere) to cross-check dirty bits and residency against the objects.
+func (m *Map) AuditPTEs(fn func(va uint64, pte PTE, obj *Object)) {
+	m.mu.Lock()
+	vas := make([]uint64, 0, len(m.ptes))
+	for va := range m.ptes {
+		vas = append(vas, va)
+	}
+	sort.Slice(vas, func(i, j int) bool { return vas[i] < vas[j] })
+	type ent struct {
+		va  uint64
+		pte PTE
+		obj *Object
+	}
+	ents := make([]ent, 0, len(vas))
+	for _, va := range vas {
+		p := m.ptes[va]
+		ents = append(ents, ent{va, *p, p.obj})
+	}
+	m.mu.Unlock()
+	for _, e := range ents {
+		fn(e.va, e.pte, e.obj)
+	}
+}
+
 // Map inserts a mapping of obj at a chosen address and returns it. The
 // object reference is consumed (the entry now holds it). Length is rounded
 // up to whole pages. For a MAP_PRIVATE mapping of a shared object (e.g. a

@@ -209,6 +209,21 @@ func (o *Object) ShadowCount() int {
 // Terminal returns the bottom of the shadow chain (exported form).
 func (o *Object) Terminal() *Object { return o.terminal() }
 
+// RefCount returns the current reference count (auditing).
+func (o *Object) RefCount() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return int(o.ref)
+}
+
+// Dead reports whether the object has been fully dereferenced (auditing —
+// a dead object reachable from a map or table is an invariant violation).
+func (o *Object) Dead() bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.dead
+}
+
 // Ref takes a reference.
 func (o *Object) Ref() {
 	o.mu.Lock()
