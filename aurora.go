@@ -22,6 +22,7 @@
 package aurora
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"aurora/internal/audit"
 	"aurora/internal/clock"
 	"aurora/internal/device"
+	"aurora/internal/faultdev"
 	"aurora/internal/flight"
 	"aurora/internal/kern"
 	"aurora/internal/mem"
@@ -86,6 +88,12 @@ type (
 	AuditReport = audit.Report
 	// AuditViolation is one broken invariant found by the watchdog.
 	AuditViolation = audit.Violation
+	// FaultPlan is a deterministic storage fault scenario (power cut, torn
+	// write, in-flight loss, bit-rot) armed on a machine's fault device.
+	FaultPlan = faultdev.Plan
+	// FaultDev is the fault-injecting device interposed between the store
+	// and the disks when a machine is built with Config.Fault.
+	FaultDev = faultdev.Dev
 )
 
 // Re-exported constants.
@@ -138,6 +146,18 @@ type Config struct {
 	// lossy network instead of the direct in-process copy. Each call builds
 	// a fresh connection from this description.
 	Net *NetConfig
+	// Clock, when non-nil, runs the machine on an existing virtual timeline
+	// instead of a fresh one. Fleet scenarios share one clock across every
+	// machine so cross-machine event ordering ("power-cut machine 2 at
+	// t=5s") is well-defined and replayable.
+	Clock *clock.Virtual
+	// Fault, when non-nil, interposes a deterministic fault-injection
+	// device (internal/faultdev) between the store and the striped disks.
+	// Arm it disarmed (CutAtSubmit: -1) and drive faults later through
+	// PowerCut / BitRot, or arm a cut up front for crash experiments. The
+	// wrapper rides across Crash so its crash log and media rot persist
+	// like the black box of a real machine.
+	Fault *FaultPlan
 }
 
 // NetConfig describes the simulated replication wire between machines:
@@ -184,21 +204,28 @@ type Machine struct {
 	// every checkpoint, so a rebooted machine can read the last moments
 	// before a crash. Always on — recording is a few stores per event.
 	Flight *flight.Recorder
+	// Fault is the fault-injection device from Config.Fault; nil on
+	// machines built without one. It persists across Crash — the crash
+	// log and armed bit-rot are media properties, not volatile state.
+	Fault *FaultDev
 
+	cfg     Config
 	auditor *audit.Auditor
 	wd      *audit.Watchdog
 }
 
 // NewMachine boots a machine with freshly formatted storage.
 func NewMachine(cfg Config) (*Machine, error) {
-	return build(cfg, nil, nil, true, nil)
+	return build(cfg, nil, nil, true, nil, nil)
 }
 
 // build assembles a machine; when disk is non-nil the store is recovered
 // from it instead of formatted, and the timeline continues on clk. A
 // non-nil tr carries an existing tracer across a crash so the recorded
-// timeline spans reboots; otherwise cfg.Trace creates a fresh one.
-func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr *trace.Tracer) (*Machine, error) {
+// timeline spans reboots; otherwise cfg.Trace creates a fresh one. A
+// non-nil fd carries an existing fault device across a crash (its crash
+// log and rot are media state); otherwise cfg.Fault interposes a fresh one.
+func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr *trace.Tracer, fd *FaultDev) (*Machine, error) {
 	if cfg.Devices == 0 {
 		cfg.Devices = 4
 	}
@@ -211,6 +238,9 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 	costs := cfg.Costs
 	if costs == nil {
 		costs = clock.DefaultCosts()
+	}
+	if clk == nil {
+		clk = cfg.Clock
 	}
 	if clk == nil {
 		clk = clock.NewVirtual()
@@ -228,14 +258,26 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 	fl := flight.NewRecorder(0)
 	disk.SetFlight(fl)
 
+	// The store reads and writes through the fault device when one is
+	// configured, so armed cuts, tears, and rot land on real store IO.
+	var bdev objstore.BlockDev = disk
+	if fd == nil && cfg.Fault != nil {
+		fd = faultdev.New(disk, clk, *cfg.Fault)
+	}
+	if fd != nil {
+		fd.SetTracer(tr)
+		fd.SetFlight(fl)
+		bdev = fd
+	}
+
 	var (
 		store *objstore.Store
 		err   error
 	)
 	if format {
-		store, err = objstore.Format(disk, clk, costs)
+		store, err = objstore.Format(bdev, clk, costs)
 	} else {
-		store, err = objstore.Recover(disk, clk, costs)
+		store, err = objstore.Recover(bdev, clk, costs)
 	}
 	if err != nil {
 		return nil, err
@@ -263,6 +305,8 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 		SLS:    sls.New(k, store),
 		Tracer: tr,
 		Flight: fl,
+		Fault:  fd,
+		cfg:    cfg,
 	}
 	m.SLS.Tracer = tr
 	m.Net = cfg.Net
@@ -329,7 +373,58 @@ func (m *Machine) NewConn(nc *NetConfig) *NetConn {
 // rebooted machine records into the same tracer — restore spans land on
 // the same timeline as the checkpoints that made them possible.
 func (m *Machine) Crash() (*Machine, error) {
-	return build(Config{Costs: m.Costs, Net: m.Net}, m.Disk, m.Clock, false, m.Tracer)
+	if m.Fault != nil && m.Fault.Crashed() {
+		m.Fault.Reopen()
+	}
+	cfg := m.cfg
+	cfg.Costs = m.Costs
+	cfg.Net = m.Net
+	return build(cfg, m.Disk, m.Clock, false, m.Tracer, m.Fault)
+}
+
+// PowerCut forces a power failure through the fault device: the machine's
+// next storage write is the cut (optionally landing only a torn sector
+// prefix, optionally losing the in-flight queue window), all volatile
+// state dies, and the returned machine is the post-reboot recovery from
+// the last complete checkpoint. seed feeds the torn-prefix PRNG, so the
+// same seed replays the identical failure. The cut and tear land in the
+// fault device's crash log (and any committed pre-crash flight ring
+// survives in the store), so the rebooted machine can explain which write
+// killed it. Requires Config.Fault.
+func (m *Machine) PowerCut(seed int64, torn, dropInFlight bool) (*Machine, error) {
+	if m.Fault == nil {
+		return nil, fmt.Errorf("aurora: PowerCut needs a machine built with Config.Fault")
+	}
+	prev := m.Fault.Plan()
+	m.Fault.Arm(FaultPlan{
+		Seed:         seed,
+		CutAtSubmit:  m.Fault.Submits(),
+		Torn:         torn,
+		DropInFlight: dropInFlight,
+		RotOffsets:   prev.RotOffsets, // media decay outlives the controller
+	})
+	// A store checkpoint always writes (flight ring, then superblock), so
+	// it reliably drives the armed cut.
+	if _, err := m.Store.Checkpoint(); err == nil {
+		return nil, fmt.Errorf("aurora: power cut armed but checkpoint committed without a write")
+	} else if !errors.Is(err, faultdev.ErrPowerCut) {
+		return nil, fmt.Errorf("aurora: power cut: %w", err)
+	}
+	return m.Crash()
+}
+
+// BitRot arms persistent read bit-rot at the given device byte offsets:
+// every read covering an offset comes back with a flipped bit, modeling
+// media decay. The rot survives Crash and is what the fsck scrub exists to
+// catch. Requires Config.Fault.
+func (m *Machine) BitRot(offsets ...int64) error {
+	if m.Fault == nil {
+		return fmt.Errorf("aurora: BitRot needs a machine built with Config.Fault")
+	}
+	plan := m.Fault.Plan()
+	plan.RotOffsets = append(plan.RotOffsets, offsets...)
+	m.Fault.Arm(plan)
+	return nil
 }
 
 // SaveImage writes the machine's disk contents to w; BootImage brings the
@@ -350,7 +445,7 @@ func BootImage(r io.Reader, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	cfg.Costs = costs
-	return build(cfg, disk, clk, false, nil)
+	return build(cfg, disk, clk, false, nil, nil)
 }
 
 // PersistedGroups lists group names recorded on disk (sls ps after boot).

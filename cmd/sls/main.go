@@ -84,6 +84,8 @@ func run() error {
 		return cmdFlight(*img, args)
 	case "trace":
 		return cmdTrace(args)
+	case "scenario":
+		return cmdScenario(args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -113,7 +115,11 @@ commands:
   audit [-name N]                   run the invariant watchdog once
   flight [-tail K]                  dump the pre-crash flight timeline
   trace [-steps K] [-o FILE]        run the demo under the tracer and
-                                    export a Chrome trace-event file`)
+                                    export a Chrome trace-event file
+  scenario run [-seed S] [-stretch N] [-artifacts DIR] [-v] FILE|DIR...
+                                    execute declarative chaos scenarios
+  scenario validate FILE|DIR...     check scenario files without running
+  scenario list [-json] FILE|DIR... enumerate a scenario corpus`)
 }
 
 // boot loads the machine image, save writes it back.

@@ -17,6 +17,11 @@
 // introspection page after the restore — store/group tables, the recovered
 // pre-crash flight timeline, and the invariant-audit report — and fails if
 // the audit finds violations.
+//
+// With -scenario PATH (a scenario file or a corpus directory), the
+// declarative chaos engine runs each scenario as a benchmark: the summary
+// plus wall time per scenario, failing if any scenario fails. -stretch
+// multiplies the scenario timelines, turning the corpus into a soak run.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"aurora"
 	"aurora/internal/experiments"
+	"aurora/internal/scenario"
 	"aurora/internal/vm"
 )
 
@@ -46,11 +52,23 @@ func main() {
 	quick := flag.Bool("quick", false, "CI-sized working sets")
 	traceOut := flag.String("trace", "", "write a Chrome trace of a checkpoint+restore run to FILE")
 	inspect := flag.Bool("inspect", false, "print the post-restore introspection page and audit report")
+	scenarioPath := flag.String("scenario", "", "run a chaos scenario file or corpus directory as a benchmark")
+	stretch := flag.Int64("stretch", 0, "multiply scenario timelines (soak runs; with -scenario)")
 	flag.Parse()
 
 	scale := experiments.Full
 	if *quick {
 		scale = experiments.Quick
+	}
+
+	if *scenarioPath != "" {
+		if err := runScenarios(*scenarioPath, *stretch); err != nil {
+			fmt.Fprintf(os.Stderr, "slsbench: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		if flag.NArg() == 0 && *traceOut == "" && !*inspect {
+			return
+		}
 	}
 
 	if *traceOut != "" || *inspect {
@@ -112,6 +130,45 @@ func main() {
 		fmt.Println(res.Render())
 		fmt.Printf("[%s completed in %v wall time]\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runScenarios treats a chaos corpus as a benchmark suite: every scenario
+// under path (a file or a directory) runs with its declared seed, printing
+// the assertion summary plus the wall time the simulation took. Scenario
+// time is virtual, so wall time here measures the engine itself — it is
+// the number that regresses when checkpointing or the flusher gets slower.
+func runScenarios(path string, stretch int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		if files, err = scenario.Discover(path); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, f := range files {
+		sc, err := scenario.Load(f)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := scenario.Run(sc, scenario.RunOptions{Stretch: stretch})
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		fmt.Print(res.Summary())
+		fmt.Printf("[%s completed in %v wall time]\n\n", sc.Name, time.Since(start).Round(time.Millisecond))
+		if !res.Passed {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", failed, len(files))
+	}
+	return nil
 }
 
 // runTrace drives a traced machine through four dirty-and-checkpoint

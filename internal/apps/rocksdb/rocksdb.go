@@ -612,9 +612,23 @@ func batchRecord(key string, val []byte, batch int) []byte {
 	return rec
 }
 
-// RebuildMemtable rescans the arena after an Aurora restore.
+// RebuildMemtable rescans the arena after an Aurora restore. The rebuilt
+// DB must also accept writes, so it gets a fresh skiplist node region
+// (the pre-crash one is still mapped in the restored process but its base
+// address is not part of the arena handoff; node state is a cache, so a
+// clean region with the record count carried over is equivalent).
 func RebuildMemtable(p *kern.Proc, arena uint64, capacity int64) (*DB, error) {
 	mt := &memtable{p: p, arena: arena, cap: capacity, index: make(map[string]mtEntry)}
+	nodeCap := capacity / 256
+	if nodeCap < 64 {
+		nodeCap = 64
+	}
+	nva, err := p.Mmap(nodeCap*nodeSize, vm.ProtRead|vm.ProtWrite, false)
+	if err != nil {
+		return nil, err
+	}
+	mt.nodes = nva
+	mt.nodeCap = nodeCap
 	var hdr [mtHeader]byte
 	for off := int64(0); off < capacity; {
 		if err := p.ReadMem(arena+uint64(off), hdr[:]); err != nil {
@@ -632,6 +646,7 @@ func RebuildMemtable(p *kern.Proc, arena uint64, capacity int64) (*DB, error) {
 		mt.index[string(key)] = mtEntry{off: off, valLen: valLen}
 		off += int64(mtHeader + keyLen + valLen)
 		mt.tail = off
+		mt.nodeCount++
 	}
 	return &DB{Proc: p, Config: ConfigAurora, ServiceTime: 300 * time.Nanosecond, mt: mt}, nil
 }

@@ -8,6 +8,7 @@
 package filebench
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -91,9 +92,24 @@ func run(fs vfs.FileSystem, cfg Config, name string, fn func(r *rand.Rand) (ops,
 	return res, nil
 }
 
+// create makes a fresh file at path, replacing any earlier instance.
+// Personalities restart their naming counters when re-run against a
+// recovered (or merely reused) file system; a surviving file from a
+// previous run must not abort the workload.
+func create(fs vfs.FileSystem, path string) (vfs.File, error) {
+	f, err := fs.Create(path)
+	if errors.Is(err, vfs.ErrExist) {
+		if rmErr := fs.Remove(path); rmErr != nil {
+			return nil, rmErr
+		}
+		f, err = fs.Create(path)
+	}
+	return f, err
+}
+
 // prepFile creates one file of cfg.FileSize filled lazily (sparse).
 func prepFile(fs vfs.FileSystem, cfg Config, name string) (vfs.File, error) {
-	f, err := fs.Create(name)
+	f, err := create(fs, name)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +167,7 @@ func CreateFiles(fs vfs.FileSystem, cfg Config) (Result, error) {
 	cfg.defaults()
 	n := 0
 	return run(fs, cfg, "createfiles", func(r *rand.Rand) (int64, int64, error) {
-		f, err := fs.Create(fmt.Sprintf("bench/create/f%08d", n))
+		f, err := create(fs, fmt.Sprintf("bench/create/f%08d", n))
 		if err != nil {
 			return 0, 0, err
 		}
@@ -164,7 +180,7 @@ func CreateFiles(fs vfs.FileSystem, cfg Config) (Result, error) {
 // where Aurora's no-op fsync dominates (Figure 3c).
 func WriteFsync(fs vfs.FileSystem, cfg Config) (Result, error) {
 	cfg.defaults()
-	f, err := fs.Create("bench/fsync.dat")
+	f, err := create(fs, "bench/fsync.dat")
 	if err != nil {
 		return Result{}, err
 	}
@@ -204,7 +220,7 @@ func FileServer(fs vfs.FileSystem, cfg Config) (Result, error) {
 		case 0: // create+write a new file, delete an old one
 			name := fmt.Sprintf("bench/fsrv/f%06d", n)
 			n++
-			f, err := fs.Create(name)
+			f, err := create(fs, name)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -267,7 +283,7 @@ func VarMail(fs vfs.FileSystem, cfg Config) (Result, error) {
 		// Deliver: create + write + fsync.
 		name := fmt.Sprintf("bench/mail/m%08d", n)
 		n++
-		f, err := fs.Create(name)
+		f, err := create(fs, name)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -305,7 +321,7 @@ func WebServer(fs vfs.FileSystem, cfg Config) (Result, error) {
 	if err := populate(fs, "bench/web", cfg.NFiles, pageSize); err != nil {
 		return Result{}, err
 	}
-	log, err := fs.Create("bench/web/access.log")
+	log, err := create(fs, "bench/web/access.log")
 	if err != nil {
 		return Result{}, err
 	}
@@ -335,11 +351,17 @@ func WebServer(fs vfs.FileSystem, cfg Config) (Result, error) {
 	})
 }
 
-// populate creates n files of size bytes under dir.
+// populate creates n files of size bytes under dir. Files that already
+// exist (a previous run, or a run resumed on a recovered file system)
+// are kept as-is: the population is the precondition, not the payload.
 func populate(fs vfs.FileSystem, dir string, n int, size int64) error {
 	buf := make([]byte, 16<<10)
 	for i := 0; i < n; i++ {
-		f, err := fs.Create(fmt.Sprintf("%s/f%06d", dir, i))
+		name := fmt.Sprintf("%s/f%06d", dir, i)
+		if fs.Exists(name) {
+			continue
+		}
+		f, err := fs.Create(name)
 		if err != nil {
 			return err
 		}

@@ -140,6 +140,49 @@ func (s *Store) Fsck() FsckReport {
 	return rep
 }
 
+// LivePageAddrs returns the device byte address of every committed data
+// page referenced by a live object, ascending. This is the scrub surface:
+// fault scenarios use it to aim bit-rot at data the fsck checksum pass is
+// obligated to catch, deterministically ("rot the Nth live page") instead
+// of guessing raw offsets. Unloaded block-map chunks are decoded from the
+// device the same way Fsck decodes them; undecodable chunks contribute no
+// pages (Fsck reports them separately).
+func (s *Store) LivePageAddrs() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int64
+	for _, oid := range sortedOIDKeys(s.objects) {
+		o := s.objects[oid]
+		if o.chunks == nil {
+			continue
+		}
+		cis := make([]int64, 0, len(o.chunks))
+		for ci := range o.chunks {
+			cis = append(cis, ci)
+		}
+		sortInt64s(cis)
+		for _, ci := range cis {
+			c := o.chunks[ci]
+			if !c.loaded && c.addr != 0 {
+				buf := make([]byte, BlockSize)
+				if _, err := s.dev.ReadAt(buf, c.addr); err != nil {
+					continue
+				}
+				if err := decodeChunk(c, buf); err != nil {
+					continue
+				}
+			}
+			for _, a := range c.addrs {
+				if a != 0 {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	sortInt64s(out)
+	return out
+}
+
 // sortedOIDKeys returns the map's keys ascending, for stable reports.
 func sortedOIDKeys(m map[OID]*object) []OID {
 	out := make([]OID, 0, len(m))

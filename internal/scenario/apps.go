@@ -1,0 +1,273 @@
+package scenario
+
+// Application bindings: each workload declaration binds one of the repo's
+// existing applications to a machine and knows how to (a) step it under
+// generated load and (b) rebind itself after the group's processes were
+// rebuilt by a restore, failover, or migration. Rebinding goes through the
+// same arena-rescan entry points the experiments use (RebuildIndex,
+// RebuildMemtable) — all application state must live in checkpointed
+// memory, which is exactly the paper's claim.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"aurora"
+	"aurora/internal/apps/memcached"
+	"aurora/internal/apps/rocksdb"
+	"aurora/internal/filebench"
+	"aurora/internal/kern"
+	"aurora/internal/vm"
+	"aurora/internal/workload"
+)
+
+// appBinding is one bound application instance.
+type appBinding interface {
+	// step applies n generated operations (or one burst, for duration-
+	// driven workloads like filebench).
+	step(n int64) error
+	// rebind reattaches the binding to the group's current processes after
+	// a restore/failover/migrate rebuilt them.
+	rebind(gs *groupState) error
+}
+
+// newGenerator builds the declared generator. Each workload gets its own
+// seed, derived from the scenario seed by declaration position, so adding
+// a workload never perturbs another's op stream.
+func newGenerator(w WorkloadDecl, seed int64) workload.Generator {
+	items := int(w.Items)
+	if items <= 0 {
+		items = 1024
+	}
+	switch w.Generator {
+	case GenPrefixDist:
+		per := items / 16
+		if per < 1 {
+			per = 1
+		}
+		return workload.NewPrefixDist(seed, 16, per)
+	case GenUniform:
+		vb := int(w.ValueBytes)
+		if vb <= 0 {
+			vb = 256
+		}
+		return workload.NewUniform(seed, items, 0.5, vb)
+	default: // GenETC and unset
+		return workload.NewETC(seed, items)
+	}
+}
+
+// ---- counter: the sls demo app, one u64 in process memory ----
+
+// counterRegion mirrors the sls CLI's demo layout: state at the process's
+// first mapping.
+const counterRegion = 1 << 20
+
+// counterWork is the simulated per-increment application CPU time.
+const counterWork = 10 * time.Microsecond
+
+type counterApp struct {
+	m *machineState
+	p *aurora.Proc
+}
+
+func newCounterApp(ms *machineState, group string) (*counterApp, *aurora.Group, error) {
+	p := ms.m.Spawn(group)
+	if _, err := p.Mmap(counterRegion, aurora.ProtRead|aurora.ProtWrite, false); err != nil {
+		return nil, nil, err
+	}
+	g, err := ms.m.Attach(group, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &counterApp{m: ms, p: p}, g, nil
+}
+
+func (c *counterApp) step(n int64) error {
+	var buf [8]byte
+	for i := int64(0); i < n; i++ {
+		if err := c.p.ReadMem(vm.UserBase, buf[:]); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf[:], binary.LittleEndian.Uint64(buf[:])+1)
+		if err := c.p.WriteMem(vm.UserBase, buf[:]); err != nil {
+			return err
+		}
+		c.m.m.Clock.Advance(counterWork)
+	}
+	return nil
+}
+
+func (c *counterApp) rebind(gs *groupState) error {
+	c.m = gs.host
+	c.p = firstProc(gs)
+	if c.p == nil {
+		return fmt.Errorf("counter %q: restored group has no processes", gs.decl.Group)
+	}
+	return nil
+}
+
+// ---- memcached under a key-value generator ----
+
+type memcachedApp struct {
+	srv   *memcached.Server
+	gen   workload.Generator
+	arena uint64
+	cap   int64
+}
+
+func newMemcachedApp(ms *machineState, w WorkloadDecl, seed int64) (*memcachedApp, *aurora.Group, error) {
+	items := int(w.Items)
+	if items <= 0 {
+		items = 1024
+	}
+	srv, err := memcached.New(ms.m.K, items)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := ms.m.Attach(w.Group, srv.Proc)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := &memcachedApp{srv: srv, gen: newGenerator(w, seed)}
+	a.arena, a.cap = srv.Arena()
+	return a, g, nil
+}
+
+func (a *memcachedApp) step(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := a.srv.Apply(a.gen.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *memcachedApp) rebind(gs *groupState) error {
+	p := firstProc(gs)
+	if p == nil {
+		return fmt.Errorf("memcached %q: restored group has no processes", gs.decl.Group)
+	}
+	srv, err := memcached.RebuildIndex(p, a.arena, a.cap)
+	if err != nil {
+		return err
+	}
+	a.srv = srv
+	return nil
+}
+
+// ---- rocksdb (ConfigAurora: the transparently checkpointed build) ----
+
+type rocksdbApp struct {
+	db    *rocksdb.DB
+	gen   workload.Generator
+	arena uint64
+	cap   int64
+}
+
+func newRocksDBApp(ms *machineState, w WorkloadDecl, seed int64) (*rocksdbApp, *aurora.Group, error) {
+	g, ok := ms.m.SLS.GroupByName(w.Group)
+	if !ok {
+		g = ms.m.SLS.CreateGroup(w.Group)
+	}
+	// The memtable is sized so it never rotates within a scenario: rotation
+	// compacts via map iteration, which would cost bit-determinism.
+	db, err := rocksdb.Open(ms.m.K, rocksdb.Options{
+		Config:      rocksdb.ConfigAurora,
+		MemtableCap: 64 << 20,
+		Group:       g,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	a := &rocksdbApp{db: db, gen: newGenerator(w, seed)}
+	a.arena, a.cap = db.MemtableArena()
+	return a, g, nil
+}
+
+func (a *rocksdbApp) step(n int64) error {
+	for i := int64(0); i < n; i++ {
+		if err := a.db.Apply(a.gen.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *rocksdbApp) rebind(gs *groupState) error {
+	p := firstProc(gs)
+	if p == nil {
+		return fmt.Errorf("rocksdb %q: restored group has no processes", gs.decl.Group)
+	}
+	db, err := rocksdb.RebuildMemtable(p, a.arena, a.cap)
+	if err != nil {
+		return err
+	}
+	a.db = db
+	return nil
+}
+
+// ---- filebench: duration-driven personalities over the machine's FS ----
+
+type filebenchApp struct {
+	m    *machineState
+	w    WorkloadDecl
+	seed int64
+	tick time.Duration
+}
+
+func newFilebenchApp(ms *machineState, w WorkloadDecl, seed int64, tick time.Duration) *filebenchApp {
+	return &filebenchApp{m: ms, w: w, seed: seed, tick: tick}
+}
+
+// step runs one tick-length burst of the personality against the machine's
+// live (possibly post-recovery) file system. n is the op budget for
+// generator workloads; filebench is duration-driven, so it is ignored.
+func (a *filebenchApp) step(n int64) error {
+	nfiles := int(a.w.Items)
+	if nfiles <= 0 {
+		nfiles = 8
+	}
+	cfg := filebench.Config{
+		Clock:    a.m.m.Clock,
+		Duration: a.tick,
+		IOSize:   4096,
+		FileSize: 4 << 20,
+		NFiles:   nfiles,
+		Seed:     a.seed,
+	}
+	var err error
+	switch a.w.Personality {
+	case "fileserver":
+		_, err = filebench.FileServer(a.m.m.FS, cfg)
+	case "webserver":
+		_, err = filebench.WebServer(a.m.m.FS, cfg)
+	case "randomwrite":
+		_, err = filebench.RandomWrite(a.m.m.FS, cfg)
+	case "seqwrite":
+		_, err = filebench.SeqWrite(a.m.m.FS, cfg)
+	default: // varmail
+		_, err = filebench.VarMail(a.m.m.FS, cfg)
+	}
+	return err
+}
+
+// rebind is trivial: the binding tracks the machine, and the machine's FS
+// pointer is refreshed by the event handlers after every reboot.
+func (a *filebenchApp) rebind(gs *groupState) error {
+	a.m = gs.host
+	return nil
+}
+
+// firstProc returns the restored group's root process.
+func firstProc(gs *groupState) *kern.Proc {
+	if gs.g == nil {
+		return nil
+	}
+	procs := gs.g.Procs()
+	if len(procs) == 0 {
+		return nil
+	}
+	return procs[0]
+}

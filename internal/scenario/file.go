@@ -1,0 +1,83 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load reads and decodes one scenario file. The syntax is chosen by
+// extension: .json goes through encoding/json, everything else through the
+// YAML-subset parser. Both feed the same strict decoder, so the schema —
+// unknown-field rejection included — is identical either way.
+func Load(path string) (*Scenario, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw map[string]any
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		if err := json.Unmarshal(src, &raw); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		if raw, err = ParseYAML(src); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	sc, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Discover lists the scenario files under dir (non-recursive), sorted by
+// name: the corpus a CI sweep fans out over.
+func Discover(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(e.Name())) {
+		case ".yaml", ".yml", ".json":
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WriteArtifacts dumps the run's forensic outputs under dir, one file per
+// machine timeline plus the full summary — what the CI sweep uploads when
+// a scenario fails.
+func (r *Result) WriteArtifacts(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "summary.txt"), []byte(r.Summary()), 0o644); err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "result.json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, f := range r.Flights {
+		name := fmt.Sprintf("flight-%s.txt", f.Machine)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(f.Timeline), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseScenario hammers the strict decoder — the YAML-subset parser,
+// the typed decode, and the validator — with arbitrary bytes. The
+// properties: never panic, and any input the decoder accepts must survive
+// a JSON round trip and decode to an equally valid scenario. The decoder
+// fronts every scenario file CI runs, so "reject or fully normalize" is
+// its whole contract.
+func FuzzParseScenario(f *testing.F) {
+	f.Add([]byte(validSrc))
+	f.Add([]byte(crashSrc))
+	f.Add([]byte("name: t\nduration_ms: \"ten\"\n"))
+	f.Add([]byte("- a\n- b\n"))
+	f.Add([]byte("a:\n\tb: 1\n"))
+	f.Add([]byte("events:\n  - kind: meteor-strike\n"))
+	f.Add([]byte(`name: "unterminated`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("accepted scenario does not marshal: %v", err)
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(out, &raw); err != nil {
+			t.Fatalf("marshaled scenario is not a JSON object: %v", err)
+		}
+		if _, err := Decode(raw); err != nil {
+			t.Fatalf("accepted scenario rejected after JSON round trip: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,724 @@
+// Package scenario is Aurora's declarative chaos engine: a scenario is a
+// data file — YAML or JSON — declaring a fleet of machines, a workload mix
+// drawn from the existing generators (Facebook ETC memcached, Prefix_dist
+// RocksDB, filebench, the counter demo), timed fault events on the shared
+// virtual clock (power cuts, replication-link partitions, bit-rot, live
+// migration, failover), and assertions over the outcome (audit clean,
+// standby caught up, flight timeline contains the cut, p99 stop time under
+// a bound). The runner plugs into the machinery the repo already has —
+// internal/faultdev, internal/net, internal/audit, internal/flight,
+// internal/trace — rather than duplicating it, so "as many scenarios as
+// you can imagine" becomes a corpus of files CI sweeps on every PR instead
+// of bespoke Go harness code.
+//
+// Determinism contract: a scenario plus a seed replays bit-identically.
+// Every machine shares one virtual clock; every generator, fault plan, and
+// wire plan is seeded from the scenario seed by declaration position; the
+// runner iterates declarations in order and never ranges over a map. Two
+// runs with the same seed produce identical assertion results, event logs,
+// and flight timelines — Result.Fingerprint() is the proof the CI sweep
+// and the determinism test both pin.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expectation values for Scenario.Expect.
+const (
+	ExpectPass = "pass"
+	ExpectFail = "fail" // a negative scenario: the run must violate assertions
+)
+
+// Scenario is one declared chaos experiment.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed is the default PRNG seed; `sls scenario run -seed` overrides.
+	Seed int64 `json:"seed,omitempty"`
+	// DurationMS is the virtual runtime. TickMS is the scheduling quantum
+	// (default 1): workloads step and cadences fire once per tick.
+	DurationMS int64 `json:"duration_ms"`
+	TickMS     int64 `json:"tick_ms,omitempty"`
+	// Expect is "pass" (default) or "fail" for negative scenarios that
+	// prove assertions can trip.
+	Expect string `json:"expect,omitempty"`
+
+	Machines     []MachineDecl   `json:"machines"`
+	Workloads    []WorkloadDecl  `json:"workloads,omitempty"`
+	Replications []ReplDecl      `json:"replications,omitempty"`
+	Events       []EventDecl     `json:"events,omitempty"`
+	Assertions   []AssertionDecl `json:"assertions"`
+}
+
+// MachineDecl sizes one fleet member. Every scenario machine carries a
+// fault device (internal/faultdev) so events can kill or rot it.
+type MachineDecl struct {
+	Name      string `json:"name"`
+	StorageMB int64  `json:"storage_mb,omitempty"` // default 256
+	Trace     bool   `json:"trace,omitempty"`
+}
+
+// Workload app kinds.
+const (
+	AppCounter   = "counter"   // the sls demo app: one u64 in process memory
+	AppMemcached = "memcached" // internal/apps/memcached under a workload generator
+	AppRocksDB   = "rocksdb"   // internal/apps/rocksdb (ConfigAurora) under a generator
+	AppFilebench = "filebench" // internal/filebench personalities over the machine's FS
+)
+
+// Workload generator kinds (for memcached / rocksdb).
+const (
+	GenETC        = "etc"         // Facebook ETC (Mutilate), the paper's memcached driver
+	GenPrefixDist = "prefix_dist" // Facebook Prefix_dist, the paper's RocksDB driver
+	GenUniform    = "uniform"
+)
+
+// Filebench personalities accepted in WorkloadDecl.Personality.
+var filebenchPersonalities = []string{"varmail", "fileserver", "webserver", "randomwrite", "seqwrite"}
+
+// WorkloadDecl binds an application to a machine and drives it every tick.
+type WorkloadDecl struct {
+	Machine string `json:"machine"`
+	// Group is the consistency group name; empty only for filebench,
+	// whose state lives in the file system rather than process memory.
+	Group string `json:"group,omitempty"`
+	App   string `json:"app"`
+	// Generator/Items/ValueBytes shape the key-value op stream.
+	Generator  string `json:"generator,omitempty"`
+	Items      int64  `json:"items,omitempty"`       // key space / slot count (default 1024)
+	ValueBytes int64  `json:"value_bytes,omitempty"` // uniform generator value size
+	OpsPerTick int64  `json:"ops_per_tick,omitempty"`
+	// Personality selects the filebench workload (default varmail).
+	Personality string `json:"personality,omitempty"`
+	// CheckpointEveryMS is the periodic checkpoint cadence; 0 means only
+	// explicit checkpoint events persist this workload.
+	CheckpointEveryMS int64 `json:"checkpoint_every_ms,omitempty"`
+}
+
+// ReplDecl keeps a warm standby of a group on another machine, syncing on
+// a cadence over a simulated lossy wire.
+type ReplDecl struct {
+	Group       string  `json:"group"`
+	From        string  `json:"from"`
+	To          string  `json:"to"`
+	SyncEveryMS int64   `json:"sync_every_ms,omitempty"` // 0: only explicit sync events
+	Drop        float64 `json:"drop,omitempty"`
+	Dup         float64 `json:"dup,omitempty"`
+	Reorder     float64 `json:"reorder,omitempty"`
+	Corrupt     float64 `json:"corrupt,omitempty"`
+}
+
+// Event kinds.
+const (
+	EvPowerCut   = "power-cut"  // machine: kill + reboot through faultdev
+	EvRestore    = "restore"    // machine+group: restore and rebind the app
+	EvPartition  = "partition"  // group: cut the replication wire for for_ms
+	EvBitRot     = "bit-rot"    // machine: rot the Nth live data pages
+	EvMigrate    = "migrate"    // group→to: live pre-copy migration
+	EvFailover   = "failover"   // group: restore on the standby
+	EvCheckpoint = "checkpoint" // group (or whole machine store)
+	EvSync       = "sync"       // group: one replication sync now
+)
+
+var eventKinds = []string{EvPowerCut, EvRestore, EvPartition, EvBitRot, EvMigrate, EvFailover, EvCheckpoint, EvSync}
+
+// EventDecl is one timed event on the shared virtual clock.
+type EventDecl struct {
+	AtMS int64  `json:"at_ms"`
+	Kind string `json:"kind"`
+
+	Machine string `json:"machine,omitempty"`
+	Group   string `json:"group,omitempty"`
+
+	// power-cut knobs (see faultdev.Plan).
+	Torn         bool `json:"torn,omitempty"`
+	DropInFlight bool `json:"drop_in_flight,omitempty"`
+
+	// partition duration.
+	ForMS int64 `json:"for_ms,omitempty"`
+
+	// bit-rot targets: indexes into the machine's live committed pages
+	// (resolved via Store.LivePageAddrs, modulo the live count).
+	Pages []int64 `json:"pages,omitempty"`
+
+	// migrate destination and pre-copy rounds.
+	To     string `json:"to,omitempty"`
+	Rounds int64  `json:"rounds,omitempty"`
+}
+
+// Assertion kinds.
+const (
+	AssertAuditClean      = "audit-clean"          // machine: invariant watchdog finds nothing
+	AssertFsckClean       = "fsck-clean"           // machine: store verifies
+	AssertFsckProblems    = "fsck-problems"        // machine: fsck finds >= min problems (bit-rot proof)
+	AssertFlightContains  = "flight-contains"      // machine: recovered timeline has >= min events of kind
+	AssertStandbyMinEpoch = "standby-min-epoch"    // group: standby holds epoch >= min
+	AssertSyncsAtLeast    = "syncs-at-least"       // group: replication landed >= min ships
+	AssertOpsAtLeast      = "ops-at-least"         // group: workload completed >= min ops
+	AssertCkptsAtLeast    = "checkpoints-at-least" // group: >= min checkpoints committed
+	AssertGroupOn         = "group-on"             // machine+group: group is live there
+	AssertP99StopUnderUS  = "p99-stop-under-us"    // group: p99 checkpoint stop time <= max µs
+	AssertRestoreUnderUS  = "restores-under-us"    // group: every restore time <= max µs
+)
+
+var assertionKinds = []string{
+	AssertAuditClean, AssertFsckClean, AssertFsckProblems, AssertFlightContains,
+	AssertStandbyMinEpoch, AssertSyncsAtLeast, AssertOpsAtLeast, AssertCkptsAtLeast,
+	AssertGroupOn, AssertP99StopUnderUS, AssertRestoreUnderUS,
+}
+
+// AssertionDecl is one end-of-run check.
+type AssertionDecl struct {
+	Kind    string `json:"kind"`
+	Machine string `json:"machine,omitempty"`
+	Group   string `json:"group,omitempty"`
+	Event   string `json:"event,omitempty"` // flight-contains: flight kind name, e.g. "power.cut"
+	Min     int64  `json:"min,omitempty"`   // thresholds (counts, epochs); default 1
+	MaxUS   int64  `json:"max_us,omitempty"`
+}
+
+// Parse decodes a scenario from YAML (or JSON — valid JSON is a YAML
+// subset only for the flow forms this parser rejects, so JSON sources go
+// through ParseJSON in file.go) and validates it.
+func Parse(src []byte) (*Scenario, error) {
+	raw, err := ParseYAML(src)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}
+
+// Decode builds a Scenario from generic parsed values, rejecting unknown
+// fields and wrong types with positioned paths, then validates it.
+func Decode(raw map[string]any) (*Scenario, error) {
+	d := &decoder{}
+	sc := d.scenario(raw)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// Validate checks cross-references and ranges. Parse/Decode call it; the
+// CLI's `scenario validate` is this over a whole corpus.
+func (s *Scenario) Validate() error {
+	var errs []string
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	if s.Name == "" {
+		bad("name: required")
+	}
+	if s.DurationMS <= 0 {
+		bad("duration_ms: must be positive, got %d", s.DurationMS)
+	}
+	if s.TickMS < 0 {
+		bad("tick_ms: must not be negative, got %d", s.TickMS)
+	}
+	if s.Expect != "" && s.Expect != ExpectPass && s.Expect != ExpectFail {
+		bad("expect: must be %q or %q, got %q", ExpectPass, ExpectFail, s.Expect)
+	}
+	if len(s.Machines) == 0 {
+		bad("machines: at least one machine is required")
+	}
+	machines := map[string]bool{}
+	for i, m := range s.Machines {
+		if m.Name == "" {
+			bad("machines[%d].name: required", i)
+		}
+		if machines[m.Name] {
+			bad("machines[%d]: duplicate machine %q", i, m.Name)
+		}
+		machines[m.Name] = true
+		if m.StorageMB < 0 {
+			bad("machines[%d].storage_mb: must not be negative", i)
+		}
+	}
+
+	groups := map[string]string{} // group -> machine
+	for i, w := range s.Workloads {
+		at := fmt.Sprintf("workloads[%d]", i)
+		if !machines[w.Machine] {
+			bad("%s.machine: no machine %q", at, w.Machine)
+		}
+		switch w.App {
+		case AppCounter, AppMemcached, AppRocksDB:
+			if w.Group == "" {
+				bad("%s.group: required for app %q", at, w.App)
+			}
+		case AppFilebench:
+			if w.Group != "" {
+				bad("%s.group: filebench state lives in the file system; omit group", at)
+			}
+			if w.Personality != "" && !contains(filebenchPersonalities, w.Personality) {
+				bad("%s.personality: unknown %q (want one of %s)", at, w.Personality, strings.Join(filebenchPersonalities, ", "))
+			}
+		case "":
+			bad("%s.app: required", at)
+		default:
+			bad("%s.app: unknown app %q", at, w.App)
+		}
+		if w.Group != "" {
+			if _, dup := groups[w.Group]; dup {
+				bad("%s.group: duplicate group %q", at, w.Group)
+			}
+			groups[w.Group] = w.Machine
+		}
+		switch w.Generator {
+		case "", GenETC, GenPrefixDist, GenUniform:
+		default:
+			bad("%s.generator: unknown generator %q", at, w.Generator)
+		}
+		if w.Items < 0 || w.OpsPerTick < 0 || w.ValueBytes < 0 || w.CheckpointEveryMS < 0 {
+			bad("%s: sizes and cadences must not be negative", at)
+		}
+	}
+
+	repls := map[string]bool{}
+	for i, r := range s.Replications {
+		at := fmt.Sprintf("replications[%d]", i)
+		if _, ok := groups[r.Group]; !ok {
+			bad("%s.group: no workload declares group %q", at, r.Group)
+		}
+		if !machines[r.From] {
+			bad("%s.from: no machine %q", at, r.From)
+		}
+		if !machines[r.To] {
+			bad("%s.to: no machine %q", at, r.To)
+		}
+		if r.From != "" && r.From == r.To {
+			bad("%s: from and to are both %q", at, r.From)
+		}
+		if gm, ok := groups[r.Group]; ok && gm != r.From {
+			bad("%s: group %q runs on %q, not on from=%q", at, r.Group, gm, r.From)
+		}
+		if repls[r.Group] {
+			bad("%s: duplicate replication of group %q", at, r.Group)
+		}
+		repls[r.Group] = true
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{{"drop", r.Drop}, {"dup", r.Dup}, {"reorder", r.Reorder}, {"corrupt", r.Corrupt}} {
+			if p.v < 0 || p.v >= 1 {
+				bad("%s.%s: probability must be in [0,1), got %g", at, p.name, p.v)
+			}
+		}
+		if r.SyncEveryMS < 0 {
+			bad("%s.sync_every_ms: must not be negative", at)
+		}
+	}
+
+	for i, e := range s.Events {
+		at := fmt.Sprintf("events[%d]", i)
+		if e.AtMS < 0 {
+			bad("%s.at_ms: must not be negative, got %d", at, e.AtMS)
+		}
+		if e.AtMS > s.DurationMS {
+			bad("%s.at_ms: %d is after the scenario ends (%d)", at, e.AtMS, s.DurationMS)
+		}
+		switch e.Kind {
+		case EvPowerCut:
+			if !machines[e.Machine] {
+				bad("%s.machine: no machine %q", at, e.Machine)
+			}
+		case EvRestore:
+			if !machines[e.Machine] {
+				bad("%s.machine: no machine %q", at, e.Machine)
+			}
+			if _, ok := groups[e.Group]; !ok {
+				bad("%s.group: no workload declares group %q", at, e.Group)
+			}
+		case EvPartition:
+			if !repls[e.Group] {
+				bad("%s.group: no replication declared for group %q", at, e.Group)
+			}
+			if e.ForMS <= 0 {
+				bad("%s.for_ms: partition needs a positive duration", at)
+			}
+		case EvBitRot:
+			if !machines[e.Machine] {
+				bad("%s.machine: no machine %q", at, e.Machine)
+			}
+			if len(e.Pages) == 0 {
+				bad("%s.pages: bit-rot needs at least one live-page index", at)
+			}
+			for _, pg := range e.Pages {
+				if pg < 0 {
+					bad("%s.pages: negative page index %d", at, pg)
+				}
+			}
+		case EvMigrate:
+			if _, ok := groups[e.Group]; !ok {
+				bad("%s.group: no workload declares group %q", at, e.Group)
+			}
+			if !machines[e.To] {
+				bad("%s.to: no machine %q", at, e.To)
+			}
+			if e.Rounds < 0 {
+				bad("%s.rounds: must not be negative", at)
+			}
+		case EvFailover:
+			if !repls[e.Group] {
+				bad("%s.group: no replication declared for group %q", at, e.Group)
+			}
+		case EvCheckpoint:
+			if e.Group == "" && !machines[e.Machine] {
+				bad("%s: checkpoint needs a group or a machine", at)
+			}
+			if e.Group != "" {
+				if _, ok := groups[e.Group]; !ok {
+					bad("%s.group: no workload declares group %q", at, e.Group)
+				}
+			}
+		case EvSync:
+			if !repls[e.Group] {
+				bad("%s.group: no replication declared for group %q", at, e.Group)
+			}
+		case "":
+			bad("%s.kind: required", at)
+		default:
+			bad("%s.kind: unknown event kind %q (want one of %s)", at, e.Kind, strings.Join(eventKinds, ", "))
+		}
+	}
+
+	if len(s.Assertions) == 0 {
+		bad("assertions: at least one assertion is required")
+	}
+	for i, a := range s.Assertions {
+		at := fmt.Sprintf("assertions[%d]", i)
+		needMachine := func() {
+			if !machines[a.Machine] {
+				bad("%s.machine: no machine %q", at, a.Machine)
+			}
+		}
+		needGroup := func() {
+			if _, ok := groups[a.Group]; !ok {
+				bad("%s.group: no workload declares group %q", at, a.Group)
+			}
+		}
+		switch a.Kind {
+		case AssertAuditClean, AssertFsckClean:
+			needMachine()
+		case AssertFsckProblems:
+			needMachine()
+		case AssertFlightContains:
+			needMachine()
+			if a.Event == "" {
+				bad("%s.event: flight-contains needs a flight event kind (e.g. \"power.cut\")", at)
+			}
+		case AssertStandbyMinEpoch, AssertSyncsAtLeast:
+			if !repls[a.Group] {
+				bad("%s.group: no replication declared for group %q", at, a.Group)
+			}
+		case AssertOpsAtLeast, AssertCkptsAtLeast:
+			needGroup()
+		case AssertGroupOn:
+			needMachine()
+			needGroup()
+		case AssertP99StopUnderUS, AssertRestoreUnderUS:
+			needGroup()
+			if a.MaxUS <= 0 {
+				bad("%s.max_us: needs a positive bound", at)
+			}
+		case "":
+			bad("%s.kind: required", at)
+		default:
+			bad("%s.kind: unknown assertion kind %q (want one of %s)", at, a.Kind, strings.Join(assertionKinds, ", "))
+		}
+		if a.Min < 0 {
+			bad("%s.min: must not be negative", at)
+		}
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	sort.Strings(errs)
+	return fmt.Errorf("scenario %q invalid:\n  %s", s.Name, strings.Join(errs, "\n  "))
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- strict generic-value decoding ----
+
+type decoder struct{ err error }
+
+func (d *decoder) fail(path, format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s: %s", path, fmt.Sprintf(format, args...))
+	}
+}
+
+// field extractors: each consumes its key so unknown-key detection is a
+// final "anything left?" check per object.
+
+func (d *decoder) str(m map[string]any, path, key string) string {
+	v, ok := m[key]
+	if !ok {
+		return ""
+	}
+	delete(m, key)
+	s, ok := v.(string)
+	if !ok {
+		d.fail(path+"."+key, "want string, got %s", typeName(v))
+		return ""
+	}
+	return s
+}
+
+func (d *decoder) i64(m map[string]any, path, key string) int64 {
+	v, ok := m[key]
+	if !ok {
+		return 0
+	}
+	delete(m, key)
+	switch n := v.(type) {
+	case int64:
+		return n
+	case float64:
+		if n == float64(int64(n)) {
+			return int64(n)
+		}
+	}
+	d.fail(path+"."+key, "want integer, got %s", typeName(v))
+	return 0
+}
+
+func (d *decoder) f64(m map[string]any, path, key string) float64 {
+	v, ok := m[key]
+	if !ok {
+		return 0
+	}
+	delete(m, key)
+	switch n := v.(type) {
+	case int64:
+		return float64(n)
+	case float64:
+		return n
+	}
+	d.fail(path+"."+key, "want number, got %s", typeName(v))
+	return 0
+}
+
+func (d *decoder) boolean(m map[string]any, path, key string) bool {
+	v, ok := m[key]
+	if !ok {
+		return false
+	}
+	delete(m, key)
+	b, ok := v.(bool)
+	if !ok {
+		d.fail(path+"."+key, "want bool, got %s", typeName(v))
+		return false
+	}
+	return b
+}
+
+func (d *decoder) i64list(m map[string]any, path, key string) []int64 {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	delete(m, key)
+	list, ok := v.([]any)
+	if !ok {
+		d.fail(path+"."+key, "want list of integers, got %s", typeName(v))
+		return nil
+	}
+	out := make([]int64, 0, len(list))
+	for i, e := range list {
+		switch n := e.(type) {
+		case int64:
+			out = append(out, n)
+		case float64:
+			if n == float64(int64(n)) {
+				out = append(out, int64(n))
+				continue
+			}
+			d.fail(fmt.Sprintf("%s.%s[%d]", path, key, i), "want integer, got %g", n)
+		default:
+			d.fail(fmt.Sprintf("%s.%s[%d]", path, key, i), "want integer, got %s", typeName(e))
+		}
+	}
+	return out
+}
+
+// objects pulls a list of maps.
+func (d *decoder) objects(m map[string]any, path, key string) []map[string]any {
+	v, ok := m[key]
+	if !ok {
+		return nil
+	}
+	delete(m, key)
+	list, ok := v.([]any)
+	if !ok {
+		d.fail(path+"."+key, "want a list, got %s", typeName(v))
+		return nil
+	}
+	out := make([]map[string]any, 0, len(list))
+	for i, e := range list {
+		obj, ok := e.(map[string]any)
+		if !ok {
+			d.fail(fmt.Sprintf("%s.%s[%d]", path, key, i), "want an object, got %s", typeName(e))
+			return out
+		}
+		out = append(out, obj)
+	}
+	return out
+}
+
+func (d *decoder) noExtra(m map[string]any, path string) {
+	if len(m) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	d.fail(path, "unknown field %q", keys[0])
+}
+
+func (d *decoder) scenario(raw map[string]any) *Scenario {
+	m := cloneMap(raw)
+	sc := &Scenario{
+		Name:        d.str(m, "scenario", "name"),
+		Description: d.str(m, "scenario", "description"),
+		Seed:        d.i64(m, "scenario", "seed"),
+		DurationMS:  d.i64(m, "scenario", "duration_ms"),
+		TickMS:      d.i64(m, "scenario", "tick_ms"),
+		Expect:      d.str(m, "scenario", "expect"),
+	}
+	for i, o := range d.objects(m, "scenario", "machines") {
+		path := fmt.Sprintf("machines[%d]", i)
+		md := MachineDecl{
+			Name:      d.str(o, path, "name"),
+			StorageMB: d.i64(o, path, "storage_mb"),
+			Trace:     d.boolean(o, path, "trace"),
+		}
+		d.noExtra(o, path)
+		sc.Machines = append(sc.Machines, md)
+	}
+	for i, o := range d.objects(m, "scenario", "workloads") {
+		path := fmt.Sprintf("workloads[%d]", i)
+		wd := WorkloadDecl{
+			Machine:           d.str(o, path, "machine"),
+			Group:             d.str(o, path, "group"),
+			App:               d.str(o, path, "app"),
+			Generator:         d.str(o, path, "generator"),
+			Items:             d.i64(o, path, "items"),
+			ValueBytes:        d.i64(o, path, "value_bytes"),
+			OpsPerTick:        d.i64(o, path, "ops_per_tick"),
+			Personality:       d.str(o, path, "personality"),
+			CheckpointEveryMS: d.i64(o, path, "checkpoint_every_ms"),
+		}
+		d.noExtra(o, path)
+		sc.Workloads = append(sc.Workloads, wd)
+	}
+	for i, o := range d.objects(m, "scenario", "replications") {
+		path := fmt.Sprintf("replications[%d]", i)
+		rd := ReplDecl{
+			Group:       d.str(o, path, "group"),
+			From:        d.str(o, path, "from"),
+			To:          d.str(o, path, "to"),
+			SyncEveryMS: d.i64(o, path, "sync_every_ms"),
+			Drop:        d.f64(o, path, "drop"),
+			Dup:         d.f64(o, path, "dup"),
+			Reorder:     d.f64(o, path, "reorder"),
+			Corrupt:     d.f64(o, path, "corrupt"),
+		}
+		d.noExtra(o, path)
+		sc.Replications = append(sc.Replications, rd)
+	}
+	for i, o := range d.objects(m, "scenario", "events") {
+		path := fmt.Sprintf("events[%d]", i)
+		ed := EventDecl{
+			AtMS:         d.i64(o, path, "at_ms"),
+			Kind:         d.str(o, path, "kind"),
+			Machine:      d.str(o, path, "machine"),
+			Group:        d.str(o, path, "group"),
+			Torn:         d.boolean(o, path, "torn"),
+			DropInFlight: d.boolean(o, path, "drop_in_flight"),
+			ForMS:        d.i64(o, path, "for_ms"),
+			Pages:        d.i64list(o, path, "pages"),
+			To:           d.str(o, path, "to"),
+			Rounds:       d.i64(o, path, "rounds"),
+		}
+		d.noExtra(o, path)
+		sc.Events = append(sc.Events, ed)
+	}
+	for i, o := range d.objects(m, "scenario", "assertions") {
+		path := fmt.Sprintf("assertions[%d]", i)
+		ad := AssertionDecl{
+			Kind:    d.str(o, path, "kind"),
+			Machine: d.str(o, path, "machine"),
+			Group:   d.str(o, path, "group"),
+			Event:   d.str(o, path, "event"),
+			Min:     d.i64(o, path, "min"),
+			MaxUS:   d.i64(o, path, "max_us"),
+		}
+		d.noExtra(o, path)
+		sc.Assertions = append(sc.Assertions, ad)
+	}
+	d.noExtra(m, "scenario")
+	return sc
+}
+
+// cloneMap shallow-copies so decoding can consume keys without mutating
+// the caller's parse tree.
+func cloneMap(m map[string]any) map[string]any {
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		if sub, ok := v.(map[string]any); ok {
+			v = cloneMap(sub)
+		}
+		if list, ok := v.([]any); ok {
+			cp := make([]any, len(list))
+			for i, e := range list {
+				if sub, ok := e.(map[string]any); ok {
+					cp[i] = cloneMap(sub)
+				} else {
+					cp[i] = e
+				}
+			}
+			v = cp
+		}
+		out[k] = v
+	}
+	return out
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case string:
+		return "string"
+	case int64:
+		return "integer"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	case []any:
+		return "list"
+	case map[string]any:
+		return "object"
+	}
+	return fmt.Sprintf("%T", v)
+}

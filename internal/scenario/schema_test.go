@@ -1,0 +1,301 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validSrc is a minimal well-formed scenario the malformed cases mutate.
+const validSrc = `
+name: t
+duration_ms: 10
+machines:
+  - name: alpha
+workloads:
+  - machine: alpha
+    group: demo
+    app: counter
+assertions:
+  - kind: audit-clean
+    machine: alpha
+`
+
+func TestDecodeValidMinimal(t *testing.T) {
+	sc, err := Parse([]byte(validSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "t" || sc.DurationMS != 10 || len(sc.Machines) != 1 {
+		t.Fatalf("decoded wrong: %+v", sc)
+	}
+}
+
+// TestDecodeMalformed drives the strict decoder and validator over the
+// whole catalogue of authoring mistakes. Every case must be rejected, and
+// the error must point at the offending field — a CI sweep that says
+// "scenario invalid" without saying where is useless to the author.
+func TestDecodeMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of the error
+	}{
+		{
+			name: "unknown event kind",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: meteor-strike
+    machine: alpha
+`,
+			want: `events[0].kind: unknown event kind "meteor-strike"`,
+		},
+		{
+			name: "negative event time",
+			src: validSrc + `
+events:
+  - at_ms: -3
+    kind: power-cut
+    machine: alpha
+`,
+			want: "events[0].at_ms: must not be negative",
+		},
+		{
+			name: "event after the end",
+			src: validSrc + `
+events:
+  - at_ms: 500
+    kind: power-cut
+    machine: alpha
+`,
+			want: "events[0].at_ms: 500 is after the scenario ends",
+		},
+		{
+			name: "missing machine ref in workload",
+			src:  strings.Replace(validSrc, "machine: alpha\n    group: demo", "machine: ghost\n    group: demo", 1),
+			want: `workloads[0].machine: no machine "ghost"`,
+		},
+		{
+			name: "missing machine ref in event",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: power-cut
+    machine: ghost
+`,
+			want: `events[0].machine: no machine "ghost"`,
+		},
+		{
+			name: "unknown field",
+			src:  validSrc + "\nfleet_size: 3\n",
+			want: `scenario: unknown field "fleet_size"`,
+		},
+		{
+			name: "unknown nested field",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: power-cut
+    machine: alpha
+    explosion_radius: 9
+`,
+			want: `events[0]: unknown field "explosion_radius"`,
+		},
+		{
+			name: "wrong type for duration",
+			src:  strings.Replace(validSrc, "duration_ms: 10", `duration_ms: "ten"`, 1),
+			want: "scenario.duration_ms: want integer, got string",
+		},
+		{
+			name: "no machines",
+			src: `
+name: t
+duration_ms: 10
+assertions:
+  - kind: audit-clean
+`,
+			want: "machines: at least one machine is required",
+		},
+		{
+			name: "no assertions",
+			src: `
+name: t
+duration_ms: 10
+machines:
+  - name: alpha
+`,
+			want: "assertions: at least one assertion is required",
+		},
+		{
+			name: "duplicate group",
+			src: `
+name: t
+duration_ms: 10
+machines:
+  - name: alpha
+workloads:
+  - machine: alpha
+    group: demo
+    app: counter
+  - machine: alpha
+    group: demo
+    app: counter
+assertions:
+  - kind: audit-clean
+    machine: alpha
+`,
+			want: `workloads[1].group: duplicate group "demo"`,
+		},
+		{
+			name: "filebench with group",
+			src:  strings.Replace(validSrc, "app: counter", "app: filebench", 1),
+			want: "workloads[0].group: filebench state lives in the file system",
+		},
+		{
+			name: "unknown app",
+			src:  strings.Replace(validSrc, "app: counter", "app: postgres", 1),
+			want: `workloads[0].app: unknown app "postgres"`,
+		},
+		{
+			name: "unknown generator",
+			src:  strings.Replace(validSrc, "app: counter", "app: memcached\n    generator: pareto", 1),
+			want: `workloads[0].generator: unknown generator "pareto"`,
+		},
+		{
+			name: "partition without replication",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: partition
+    group: demo
+    for_ms: 2
+`,
+			want: `events[0].group: no replication declared for group "demo"`,
+		},
+		{
+			name: "replication drop probability out of range",
+			src: `
+name: t
+duration_ms: 10
+machines:
+  - name: a
+  - name: b
+workloads:
+  - machine: a
+    group: demo
+    app: counter
+replications:
+  - group: demo
+    from: a
+    to: b
+    drop: 1.5
+assertions:
+  - kind: audit-clean
+    machine: a
+`,
+			want: "replications[0].drop: probability must be in [0,1), got 1.5",
+		},
+		{
+			name: "negative bit-rot page index",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: bit-rot
+    machine: alpha
+    pages: [0, -2]
+`,
+			want: "events[0].pages: negative page index -2",
+		},
+		{
+			name: "bad expect value",
+			src:  validSrc + "\nexpect: maybe\n",
+			want: `expect: must be "pass" or "fail", got "maybe"`,
+		},
+		{
+			name: "unknown assertion kind",
+			src: validSrc + `
+  - kind: vibes-good
+    machine: alpha
+`,
+			want: `assertions[1].kind: unknown assertion kind "vibes-good"`,
+		},
+		{
+			name: "p99 bound without max_us",
+			src: validSrc + `
+  - kind: p99-stop-under-us
+    group: demo
+`,
+			want: "assertions[1].max_us: needs a positive bound",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("malformed scenario accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestGoldenRoundTrip pins the schema: the golden YAML and golden JSON
+// decode to the same Scenario, and that Scenario marshals back to exactly
+// the golden JSON bytes. Renaming a field, changing a tag, or altering
+// omitempty behavior breaks this test — which is the point, since scenario
+// files in the wild (and CI matrices built from `scenario list -json`)
+// depend on the wire form.
+func TestGoldenRoundTrip(t *testing.T) {
+	fromYAML, err := Load(filepath.Join("testdata", "golden.yaml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := Load(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromYAML, fromJSON) {
+		t.Fatalf("YAML and JSON forms decode differently:\nyaml: %+v\njson: %+v", fromYAML, fromJSON)
+	}
+	got, err := json.MarshalIndent(fromYAML, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	want, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("schema drift: re-marshaled golden scenario differs from testdata/golden.json\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestValidateReportsAllProblemsSorted(t *testing.T) {
+	src := `
+name: ""
+duration_ms: -1
+machines:
+  - name: alpha
+assertions:
+  - kind: audit-clean
+    machine: ghost
+`
+	_, err := Parse([]byte(src))
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"name: required", "duration_ms: must be positive", `assertions[0].machine: no machine "ghost"`} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}

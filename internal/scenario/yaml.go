@@ -1,0 +1,387 @@
+// Minimal YAML-subset parser for scenario files. The repo takes no
+// third-party dependencies, and scenarios need only a small, predictable
+// slice of YAML: nested maps by indentation, block lists ("- item"),
+// inline flow lists ("[1, 2, 3]"), scalars (string, int, float, bool,
+// null), quoted strings, and comments. Anchors, aliases, multi-line
+// scalars, flow maps, and tabs are rejected with positioned errors —
+// a scenario that needs them should be simplified instead.
+//
+// ParseYAML returns the same generic value shapes encoding/json produces
+// (map[string]any, []any, string, int64, float64, bool, nil), so the
+// strict schema decoder in schema.go accepts either syntax unchanged.
+
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlError is a parse error with a 1-based line position.
+type yamlError struct {
+	Line int
+	Msg  string
+}
+
+func (e *yamlError) Error() string { return fmt.Sprintf("yaml: line %d: %s", e.Line, e.Msg) }
+
+func yerrf(line int, format string, args ...any) error {
+	return &yamlError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// yline is one significant (non-blank, non-comment) input line.
+type yline struct {
+	num    int // 1-based source line
+	indent int // leading spaces
+	text   string
+}
+
+// ParseYAML parses src into generic values (map[string]any / []any /
+// scalars). The top level must be a map.
+func ParseYAML(src []byte) (map[string]any, error) {
+	lines, err := splitLines(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return map[string]any{}, nil
+	}
+	p := &yparser{lines: lines}
+	v, err := p.block(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, yerrf(p.lines[p.pos].num, "unexpected content (bad indentation?)")
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, yerrf(lines[0].num, "top level must be a mapping")
+	}
+	return m, nil
+}
+
+// splitLines strips comments and blanks and measures indentation.
+func splitLines(src string) ([]yline, error) {
+	var out []yline
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, yerrf(i+1, "tabs are not allowed; indent with spaces")
+		}
+		line := stripComment(raw)
+		trimmed := strings.TrimRight(line, " ")
+		body := strings.TrimLeft(trimmed, " ")
+		if body == "" {
+			continue
+		}
+		if body == "---" {
+			continue // document marker: tolerated, single-document only
+		}
+		out = append(out, yline{num: i + 1, indent: len(trimmed) - len(body), text: body})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#..." that is not inside quotes. A '#'
+// opens a comment at line start or after a space, matching YAML.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type yparser struct {
+	lines []yline
+	pos   int
+}
+
+// block parses the run of lines indented at least `indent`, all at the
+// same level, as either a mapping or a list.
+func (p *yparser) block(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, yerrf(0, "unexpected end of input")
+	}
+	first := p.lines[p.pos]
+	if first.indent != indent {
+		return nil, yerrf(first.num, "expected indentation %d, got %d", indent, first.indent)
+	}
+	if strings.HasPrefix(first.text, "- ") || first.text == "-" {
+		return p.list(indent)
+	}
+	return p.mapping(indent)
+}
+
+func (p *yparser) mapping(indent int) (any, error) {
+	out := make(map[string]any)
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, yerrf(ln.num, "unexpected indentation %d inside mapping at %d", ln.indent, indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, yerrf(ln.num, "list item inside mapping")
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[key]; dup {
+			return nil, yerrf(ln.num, "duplicate key %q", key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalar(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+			continue
+		}
+		// "key:" introduces a nested block — or an empty value when the
+		// next line does not indent deeper.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.block(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = v
+		} else {
+			out[key] = nil
+		}
+	}
+	return out, nil
+}
+
+func (p *yparser) list(indent int) (any, error) {
+	out := []any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: nested block on the following deeper lines.
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				v, err := p.block(p.lines[p.pos].indent)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, v)
+			} else {
+				out = append(out, nil)
+			}
+			continue
+		}
+		if k, after, kerr := splitKey(yline{num: ln.num, text: rest}); kerr == nil {
+			// "- key: ..." starts an inline map item whose further keys sit
+			// on deeper lines. Rewrite the current line as the first pair.
+			item := make(map[string]any)
+			if after != "" {
+				v, err := parseScalar(after, ln.num)
+				if err != nil {
+					return nil, err
+				}
+				item[k] = v
+				p.pos++
+			} else {
+				p.pos++
+				if p.pos < len(p.lines) && p.lines[p.pos].indent > indent+2 {
+					v, err := p.block(p.lines[p.pos].indent)
+					if err != nil {
+						return nil, err
+					}
+					item[k] = v
+				} else {
+					item[k] = nil
+				}
+			}
+			if p.pos < len(p.lines) && p.lines[p.pos].indent == indent+2 &&
+				!strings.HasPrefix(p.lines[p.pos].text, "- ") {
+				more, err := p.mapping(indent + 2)
+				if err != nil {
+					return nil, err
+				}
+				for mk, mv := range more.(map[string]any) {
+					if _, dup := item[mk]; dup {
+						return nil, yerrf(ln.num, "duplicate key %q in list item", mk)
+					}
+					item[mk] = mv
+				}
+			}
+			out = append(out, item)
+			continue
+		}
+		// "- scalar"
+		v, err := parseScalar(rest, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		p.pos++
+	}
+	return out, nil
+}
+
+// splitKey splits "key: value" / "key:"; the key may be bare or quoted.
+func splitKey(ln yline) (key, rest string, err error) {
+	s := ln.text
+	if s == "" {
+		return "", "", yerrf(ln.num, "empty line in mapping")
+	}
+	if s[0] == '"' || s[0] == '\'' {
+		q, n, err := scanQuoted(s, ln.num)
+		if err != nil {
+			return "", "", err
+		}
+		after := s[n:]
+		if !strings.HasPrefix(after, ":") {
+			return "", "", yerrf(ln.num, "quoted key must be followed by ':'")
+		}
+		return q, strings.TrimLeft(after[1:], " "), nil
+	}
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return "", "", yerrf(ln.num, "expected 'key: value', got %q", s)
+	}
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", yerrf(ln.num, "missing space after ':' in %q", s)
+	}
+	key = strings.TrimRight(s[:i], " ")
+	if key == "" {
+		return "", "", yerrf(ln.num, "empty key")
+	}
+	return key, strings.TrimLeft(s[i+1:], " "), nil
+}
+
+// scanQuoted reads a leading quoted string, returning its value and the
+// byte length consumed.
+func scanQuoted(s string, line int) (string, int, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			if quote == '"' {
+				v, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", 0, yerrf(line, "bad string %q: %v", s[:i+1], err)
+				}
+				return v, i + 1, nil
+			}
+			return strings.ReplaceAll(s[1:i], "''", "'"), i + 1, nil
+		}
+	}
+	return "", 0, yerrf(line, "unterminated string %q", s)
+}
+
+// parseScalar interprets one scalar or inline flow list.
+func parseScalar(s string, line int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return parseFlowList(s, line)
+	case s[0] == '{':
+		return nil, yerrf(line, "flow mappings {...} are not supported")
+	case s[0] == '&' || s[0] == '*':
+		return nil, yerrf(line, "anchors and aliases are not supported")
+	case s[0] == '|' || s[0] == '>':
+		return nil, yerrf(line, "block scalars are not supported")
+	case s[0] == '"' || s[0] == '\'':
+		v, n, err := scanQuoted(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(s[n:]) != "" {
+			return nil, yerrf(line, "trailing content after string: %q", s[n:])
+		}
+		return v, nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 0, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil // bare string
+}
+
+// parseFlowList parses "[a, b, c]" with scalar elements.
+func parseFlowList(s string, line int) (any, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, yerrf(line, "unterminated flow list %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	out := []any{}
+	if inner == "" {
+		return out, nil
+	}
+	for _, part := range splitFlow(inner) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, yerrf(line, "empty element in flow list %q", s)
+		}
+		if strings.HasPrefix(part, "[") {
+			return nil, yerrf(line, "nested flow lists are not supported")
+		}
+		v, err := parseScalar(part, line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// splitFlow splits on commas outside quotes.
+func splitFlow(s string) []string {
+	var out []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case inSingle || inDouble:
+		case r == '[':
+			depth++
+		case r == ']':
+			depth--
+		case r == ',' && depth == 0:
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLShapes(t *testing.T) {
+	src := `
+# comment
+name: demo            # trailing comment
+count: 3
+ratio: 0.5
+flag: true
+nothing: null
+quoted: "a: b # not a comment"
+single: 'plain single'
+flow: [1, 2, 3]
+nested:
+  inner: x
+  list:
+    - name: one
+      n: 1
+    - name: two
+      n: 2
+strings:
+  - plain
+  - "quoted"
+`
+	got, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name":    "demo",
+		"count":   int64(3),
+		"ratio":   0.5,
+		"flag":    true,
+		"nothing": nil,
+		"quoted":  "a: b # not a comment",
+		"single":  "plain single",
+		"flow":    []any{int64(1), int64(2), int64(3)},
+		"nested": map[string]any{
+			"inner": "x",
+			"list": []any{
+				map[string]any{"name": "one", "n": int64(1)},
+				map[string]any{"name": "two", "n": int64(2)},
+			},
+		},
+		"strings": []any{"plain", "quoted"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed:\n%#v\nwant:\n%#v", got, want)
+	}
+}
+
+func TestParseYAMLRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"tab indentation", "a:\n\tb: 1\n", "tab"},
+		{"top level list", "- a\n- b\n", "top level must be a mapping"},
+		{"bad indent", "a: 1\n   stray\n", ""},
+		{"anchor", "a: &x 1\n", ""},
+		{"alias", "a: *x\n", ""},
+		{"flow map", "a: {b: 1}\n", ""},
+		{"unterminated quote", `a: "oops` + "\n", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("error %q has no line position", err)
+			}
+		})
+	}
+}

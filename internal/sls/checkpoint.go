@@ -88,7 +88,14 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 			}
 		})
 		if clean && frozen.ShadowCount() == 1 && pair.Live.Backer() == frozen && frozen.Backer() != nil {
+			backer := frozen.Backer()
 			vm.CollapseAurora(pair.Live, frozen)
+			// Pages moved into the backer with their identity intact;
+			// PTEs installed from the dying shadow (read faults served
+			// mid-chain last interval) follow them.
+			for _, m := range g.Maps() {
+				m.ReownPTEs(frozen, backer)
+			}
 			delete(g.transient, frozen)
 		}
 		// Multi-shadow (fork mid-interval), baseless, or unflushed

@@ -132,6 +132,10 @@ func (r *Replica) Resume() error {
 // Pending reports whether an interrupted ship awaits Resume.
 func (r *Replica) Pending() bool { return r.pending != nil }
 
+// Base returns the last checkpoint epoch the standby holds — the "caught
+// up to epoch N" a failover scenario asserts before pulling the plug.
+func (r *Replica) Base() objstore.Epoch { return r.base }
+
 // ship encodes (full when since==0, else delta), moves the stream to the
 // standby, and applies it there.
 func (r *Replica) ship(since objstore.Epoch, cutStart time.Duration) error {

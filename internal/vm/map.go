@@ -417,6 +417,21 @@ func (m *Map) replaceEntryObject(e *Entry, newObj *Object) {
 	m.mu.Unlock()
 }
 
+// ReownPTEs transfers install-owner bookkeeping from one object to
+// another. The reversed collapse moves a frozen shadow's pages down into
+// its backer without touching the pmap — page identity is stable, so the
+// installed translations stay valid, but the owner recorded at install
+// time would otherwise dangle on the dying shadow.
+func (m *Map) ReownPTEs(from, to *Object) {
+	m.mu.Lock()
+	for _, pte := range m.ptes {
+		if pte.obj == from {
+			pte.obj = to
+		}
+	}
+	m.mu.Unlock()
+}
+
 // InvalidateAll drops every PTE — a full page-table invalidation plus TLB
 // shootdown, used after page eviction and lazy restores.
 func (m *Map) InvalidateAll() {

@@ -46,8 +46,12 @@ func SystemShadow(vmsys *System, maps []*Map, backrefs []BackRef) []ShadowPair {
 // which skip returns true are not shadowed (the sls_mctl exclusion path).
 func SystemShadowFiltered(vmsys *System, maps []*Map, backrefs []BackRef, skip func(*Map, *Entry) bool) []ShadowPair {
 	// 1. Collect the distinct shadow targets: objects referenced by any
-	// writable entry (and all writable shm backrefs).
-	targets := make(map[*Object]bool)
+	// writable entry (and all writable shm backrefs). First-encounter
+	// order, never map order — the pair order decides shadow ID
+	// allocation and the flush plan's job order downstream, both of which
+	// must replay bit-identically under the same seed.
+	seen := make(map[*Object]bool)
+	var targets []*Object
 	for _, m := range maps {
 		for _, e := range m.Entries() {
 			if e.Prot&ProtWrite == 0 {
@@ -59,12 +63,16 @@ func SystemShadowFiltered(vmsys *System, maps []*Map, backrefs []BackRef, skip f
 			if skip != nil && skip(m, e) {
 				continue
 			}
-			targets[e.Obj] = true
+			if !seen[e.Obj] {
+				seen[e.Obj] = true
+				targets = append(targets, e.Obj)
+			}
 		}
 	}
 	for _, br := range backrefs {
-		if o := br.Object(); o != nil && o.Type == Anonymous {
-			targets[o] = true
+		if o := br.Object(); o != nil && o.Type == Anonymous && !seen[o] {
+			seen[o] = true
+			targets = append(targets, o)
 		}
 	}
 	if len(targets) == 0 {
@@ -74,7 +82,7 @@ func SystemShadowFiltered(vmsys *System, maps []*Map, backrefs []BackRef, skip f
 	// 2. One shadow per object.
 	replacement := make(map[*Object]*Object, len(targets))
 	pairs := make([]ShadowPair, 0, len(targets))
-	for old := range targets {
+	for _, old := range targets {
 		s := vmsys.Shadow(old)
 		replacement[old] = s
 		pairs = append(pairs, ShadowPair{Frozen: old, Live: s})
