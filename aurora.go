@@ -56,6 +56,8 @@ type (
 	Group = sls.Group
 	// Orchestrator is the SLS core.
 	Orchestrator = sls.Orchestrator
+	// CheckpointKind selects how much a checkpoint captures.
+	CheckpointKind = sls.CheckpointKind
 	// CheckpointStats reports one checkpoint.
 	CheckpointStats = sls.CheckpointStats
 	// RestoreStats reports one restore.
@@ -105,6 +107,7 @@ const (
 	CkptIncremental = sls.CkptIncremental
 	CkptFull        = sls.CkptFull
 	CkptMemOnly     = sls.CkptMemOnly
+	CkptWAL         = sls.CkptWAL
 
 	RestoreEager = sls.RestoreFull
 	RestoreLazy  = sls.RestoreLazy

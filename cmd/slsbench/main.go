@@ -95,6 +95,7 @@ func main() {
 		{"fig6", wrap(experiments.Fig6)},
 		{"table7", wrap(experiments.Table7)},
 		{"repl", wrap(experiments.Replication)},
+		{"walwindow", wrap(experiments.WALWindow)},
 	}
 	byName := map[string]runner{}
 	for _, r := range all {

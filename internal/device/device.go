@@ -253,6 +253,56 @@ func (d *Device) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	return done, nil
 }
 
+// SubmitWritevAfter queues the concatenation of bufs at off like
+// SubmitWritev, but the transfer may not begin before virtual time after —
+// the vectored form of SubmitWriteAfter. The WAL append path uses it to
+// land a frame plus its sector padding as one command ordered behind the
+// durability horizon it depends on.
+func (d *Device) SubmitWritevAfter(bufs [][]byte, off int64, after time.Duration) (time.Duration, error) {
+	var total int64
+	for _, b := range bufs {
+		total += int64(len(b))
+	}
+	if err := d.check(int(total), off); err != nil {
+		return 0, err
+	}
+	if total == 0 {
+		return d.clk.Now(), nil
+	}
+	var occupancy time.Duration
+	for _, b := range bufs {
+		occupancy += clock.XferTime(0, d.costs.DevWriteBps, int64(len(b)))
+	}
+	d.mu.Lock()
+	o := off
+	for _, b := range bufs {
+		d.copyIn(b, o)
+		o += int64(len(b))
+	}
+	d.stats.Writes++
+	d.stats.BytesWritten += total
+	now := d.clk.Now()
+	start := d.nextFree
+	if now > start {
+		start = now
+	}
+	var stall time.Duration
+	if after > start {
+		stall = after - start
+		start = after
+	}
+	d.nextFree = start + occupancy
+	done := d.nextFree + d.costs.DevWriteLatency
+	if d.tr != nil {
+		traceSubmit(d.tr, "dev.writev_after", now, start, done, stall, total, off)
+	}
+	d.mu.Unlock()
+	if after > 0 {
+		d.fl.Record(int64(now), flight.EvDevWrite, off, total, int64(after), "")
+	}
+	return done, nil
+}
+
 // SubmitRead queues a read: data is returned immediately but the virtual
 // completion time reflects queued bandwidth, so batched readers (restore,
 // prefetch) pay pipelined bandwidth rather than per-command latency.
@@ -568,6 +618,27 @@ func (s *Stripe) SubmitWriteAfter(p []byte, off int64, after time.Duration) (tim
 // outcome is identical to submitting the pages one by one: member queue
 // occupancy accrues by total bytes either way.
 func (s *Stripe) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
+	return s.submitWritev(bufs, off, 0)
+}
+
+// SubmitWritevAfter queues a striped vectored write whose member transfers
+// may not begin before virtual time after. See Device.SubmitWritevAfter.
+func (s *Stripe) SubmitWritevAfter(bufs [][]byte, off int64, after time.Duration) (time.Duration, error) {
+	done, err := s.submitWritev(bufs, off, after)
+	if err != nil {
+		return 0, err
+	}
+	if after > 0 {
+		var total int64
+		for _, b := range bufs {
+			total += int64(len(b))
+		}
+		s.fl.Record(int64(s.clk.Now()), flight.EvDevWrite, off, total, int64(after), "")
+	}
+	return done, nil
+}
+
+func (s *Stripe) submitWritev(bufs [][]byte, off int64, after time.Duration) (time.Duration, error) {
 	var total int64
 	for _, b := range bufs {
 		total += int64(len(b))
@@ -603,7 +674,7 @@ func (s *Stripe) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 				bo = 0
 			}
 		}
-		t, err := s.submitMemberVec(dev, vec, devBlk*s.unit+in, run)
+		t, err := s.submitMemberVec(dev, vec, devBlk*s.unit+in, run, after)
 		if err != nil {
 			return 0, err
 		}
@@ -616,7 +687,7 @@ func (s *Stripe) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	return done, nil
 }
 
-func (s *Stripe) submitMemberVec(dev int, vec [][]byte, off, size int64) (time.Duration, error) {
+func (s *Stripe) submitMemberVec(dev int, vec [][]byte, off, size int64, after time.Duration) (time.Duration, error) {
 	d := s.devs[dev]
 	var occupancy time.Duration
 	for _, b := range vec {
@@ -639,10 +710,19 @@ func (s *Stripe) submitMemberVec(dev int, vec [][]byte, off, size int64) (time.D
 	if now > start {
 		start = now
 	}
+	var stall time.Duration
+	if after > start {
+		stall = after - start
+		start = after
+	}
 	d.nextFree = start + occupancy
 	done := d.nextFree + s.costs.DevWriteLatency
 	if s.tr != nil {
-		traceSubmit(s.tr, "dev.writev", now, start, done, 0, size, off)
+		name := "dev.writev"
+		if after > 0 {
+			name = "dev.writev_after"
+		}
+		traceSubmit(s.tr, name, now, start, done, stall, size, off)
 	}
 	return done, nil
 }

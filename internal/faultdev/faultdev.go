@@ -53,6 +53,7 @@ type Inner interface {
 	SubmitWrite(p []byte, off int64) (time.Duration, error)
 	SubmitWriteAfter(p []byte, off int64, after time.Duration) (time.Duration, error)
 	SubmitWritev(bufs [][]byte, off int64) (time.Duration, error)
+	SubmitWritevAfter(bufs [][]byte, off int64, after time.Duration) (time.Duration, error)
 	SubmitRead(p []byte, off int64) (time.Duration, error)
 	WaitUntil(t time.Duration)
 	Flush()
@@ -379,7 +380,7 @@ func (d *Dev) submitLocked(vec [][]byte, off int64, sync bool, after time.Durati
 	case len(vec) == 1:
 		done, err = d.inner.SubmitWriteAfter(vec[0], off, after)
 	default:
-		done, err = d.inner.SubmitWritev(vec, off)
+		done, err = d.inner.SubmitWritevAfter(vec, off, after)
 	}
 	if err != nil {
 		return 0, err
@@ -425,6 +426,16 @@ func (d *Dev) SubmitWritev(bufs [][]byte, off int64) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.submitLocked(bufs, off, false, 0)
+}
+
+// SubmitWritevAfter queues a counted vectored write carrying an ordering
+// constraint — one submit index, like SubmitWriteAfter. WAL frame appends
+// arrive here, so the sweep crashes on (and tears) them like any commit
+// write.
+func (d *Dev) SubmitWritevAfter(bufs [][]byte, off int64, after time.Duration) (time.Duration, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.submitLocked(bufs, off, false, after)
 }
 
 // rotApply flips one bit in every armed rot offset that falls inside the

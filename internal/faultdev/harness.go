@@ -38,11 +38,15 @@ type objSnap struct {
 // snapshot is a full logical image of the store.
 type snapshot map[objstore.OID]objSnap
 
-// commitPoint records one committed epoch during the baseline run.
+// commitPoint records one committed durability point during the baseline
+// run. A point is identified by (epoch, walSeq): full checkpoints commit a
+// new epoch with walSeq zero, WAL commits stay on the same epoch and
+// advance the frame sequence.
 type commitPoint struct {
-	epoch objstore.Epoch
-	after int64 // Dev.Submits() immediately after the commit returned
-	snap  snapshot
+	epoch  objstore.Epoch
+	walSeq uint64
+	after  int64 // Dev.Submits() immediately after the commit returned
+	snap   snapshot
 }
 
 // Ctl hands the workload its store and device and records commit goldens.
@@ -67,6 +71,29 @@ func (c *Ctl) Commit() error {
 	return nil
 }
 
+// CommitWAL appends one WAL delta frame and records the resulting
+// (epoch, walSeq) state as a golden. ErrWALFull propagates to the workload,
+// which folds and retries — deterministically, so every replay hits the
+// same fallback at the same submit index.
+func (c *Ctl) CommitWAL() error {
+	if _, err := c.Store.WALCommit(); err != nil {
+		return err
+	}
+	c.record()
+	return nil
+}
+
+// Fold runs a full checkpoint, waits out its durability, and releases the
+// dead WAL generation — the log-structured GC step — then records the
+// golden.
+func (c *Ctl) Fold() error {
+	if _, err := c.Store.Fold(); err != nil {
+		return err
+	}
+	c.record()
+	return nil
+}
+
 // Barrier waits until the newest commit is durable: everything submitted
 // so far leaves the droppable window.
 func (c *Ctl) Barrier() error {
@@ -81,9 +108,10 @@ func (c *Ctl) record() {
 		return
 	}
 	c.points = append(c.points, commitPoint{
-		epoch: c.Store.Epoch(),
-		after: c.Dev.Submits(),
-		snap:  snap,
+		epoch:  c.Store.Epoch(),
+		walSeq: c.Store.WALSeq(),
+		after:  c.Dev.Submits(),
+		snap:   snap,
 	})
 }
 
@@ -287,13 +315,15 @@ func (h *Harness) replayAttempt(points []commitPoint, k int64, traced bool) erro
 		return fail("flight timeline: %v", err)
 	}
 
-	// Atomicity: under the prefix model the recovered epoch must be the
-	// last whose commit fully preceded the cut — or, exactly when the cut
-	// write was the next epoch's superblock and tearing landed it whole,
-	// that next epoch. Under DropInFlight an epoch's superblock may still
-	// have been sitting in a device queue when power failed, so recovery
-	// may land on any OLDER committed epoch too — but never a newer one,
-	// and never anything that is not byte-identical to a commit.
+	// Atomicity: under the prefix model the recovered (epoch, walSeq) must
+	// be the last point whose commit fully preceded the cut — or, exactly
+	// when the cut write was the next point's commit write (superblock or
+	// WAL frame) and tearing landed it whole, that next point. Under
+	// DropInFlight a commit write may still have been sitting in a device
+	// queue when power failed, so recovery may land on any OLDER point too
+	// (WAL frames chain behind their interval's horizon, so drops are
+	// suffix-closed on the sequence) — but never a newer one, and never
+	// anything that is not byte-identical to a commit.
 	last := 0
 	for i := range points {
 		if points[i].after <= k {
@@ -313,20 +343,20 @@ func (h *Harness) replayAttempt(points []commitPoint, k int64, traced bool) erro
 	}
 	var golden *commitPoint
 	for _, i := range allowed {
-		if points[i].epoch == s2.Epoch() {
+		if points[i].epoch == s2.Epoch() && points[i].walSeq == s2.WALSeq() {
 			golden = &points[i]
 			break
 		}
 	}
 	if golden == nil {
-		want := make([]objstore.Epoch, len(allowed))
+		want := make([]string, len(allowed))
 		for i, idx := range allowed {
-			want[i] = points[idx].epoch
+			want[i] = fmt.Sprintf("%d.%d", points[idx].epoch, points[idx].walSeq)
 		}
-		return fail("recovered epoch %d, want one of %v", s2.Epoch(), want)
+		return fail("recovered epoch %d wal-seq %d, want one of %v", s2.Epoch(), s2.WALSeq(), want)
 	}
 	if err := compareSnapshot(s2, golden.snap); err != nil {
-		return fail("recovered image differs from epoch %d golden: %v", golden.epoch, err)
+		return fail("recovered image differs from epoch %d wal-seq %d golden: %v", golden.epoch, golden.walSeq, err)
 	}
 	return nil
 }
@@ -383,6 +413,25 @@ func verifyFlightTimeline(s *objstore.Store, dev *Dev, k int64, torn, dropInFlig
 		if ev.Kind == flight.EvPowerCut {
 			return fmt.Errorf("persisted ring contains the power cut that interrupted it: %v", ev)
 		}
+	}
+	// Phase evidence: the recovered ring's append events for the recovered
+	// epoch must reach exactly the replayed frame sequence. Each WALCommit
+	// records its append event before persisting the ring into its own
+	// frame, so frame N's snapshot carries appends 1..N — a replay to seq N
+	// that cannot show append N (or shows a later one) recovered the wrong
+	// phase of the timeline. The comparison is on the maximum sequence, not
+	// the count: a commit that failed with ErrWALFull and retried records
+	// its sequence twice, legitimately.
+	epoch, walSeq := int64(s.Epoch()), int64(s.WALSeq())
+	var maxSeq int64
+	for _, ev := range evs {
+		if ev.Kind == flight.EvWALAppend && ev.A == epoch && ev.B > maxSeq {
+			maxSeq = ev.B
+		}
+	}
+	if maxSeq != walSeq {
+		return fmt.Errorf("recovered wal seq %d but persisted ring's appends for epoch %d reach seq %d:\n%s",
+			walSeq, epoch, maxSeq, flight.Format(evs))
 	}
 	return nil
 }

@@ -52,6 +52,9 @@ const (
 	EvRecv                            // A=group OID, B=epoch received, C=bytes
 	EvAuditViolation                  // A=rule index; detail names the rule and finding
 	EvNetResume                       // A=peer high-water mark resumed from
+	EvWALAppend                       // A=base epoch, B=frame seq (recorded pre-encode, C unused)
+	EvWALFold                         // A=epoch the fold commits, B=frames folded
+	EvWALGC                           // A=bytes reclaimed, B=generation retired
 )
 
 // String names the kind for timelines.
@@ -85,6 +88,12 @@ func (k Kind) String() string {
 		return "audit.violation"
 	case EvNetResume:
 		return "net.resume"
+	case EvWALAppend:
+		return "wal.append"
+	case EvWALFold:
+		return "wal.fold"
+	case EvWALGC:
+		return "wal.gc"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

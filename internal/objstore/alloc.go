@@ -104,8 +104,17 @@ func (s *Store) retireBlock(addr int64) {
 	}
 	cur := s.curEpoch()
 	if birth == cur {
-		// Never visible to any checkpoint: reuse at once.
-		s.freelist = append(s.freelist, addr)
+		if s.walSeq > 0 || s.replaying {
+			// A committed WAL frame of this interval may reference the
+			// block: until the fold's superblock is durable, replaying that
+			// frame needs it intact. Stage it like a release — serialized
+			// as free in the folding index, allocatable only once the fold
+			// can no longer be rolled back by a crash.
+			s.releasing = append(s.releasing, addr)
+		} else {
+			// Never visible to any checkpoint: reuse at once.
+			s.freelist = append(s.freelist, addr)
+		}
 		s.stats.BlocksFreed++
 		return
 	}

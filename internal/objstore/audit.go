@@ -24,9 +24,10 @@ func (s *Store) AuditLive() []string {
 	// referenced from uncached block-map chunks are Fsck's job (reading
 	// them here would cost IO); everything resident is cross-checked.
 	limit := s.dev.Size()
+	dataStart := s.dataStart()
 	claimed := make(map[int64]string)
 	claim := func(addr, n int64, what string) {
-		if addr < 2*BlockSize || addr%BlockSize != 0 || addr+n*BlockSize > limit {
+		if addr < dataStart || addr%BlockSize != 0 || addr+n*BlockSize > limit {
 			prob("%s claims out-of-range run [%d,+%d blocks)", what, addr, n)
 			return
 		}
@@ -124,6 +125,24 @@ func (s *Store) AuditLive() []string {
 
 	if s.nextBlk*BlockSize > limit {
 		prob("bump pointer %d beyond device (%d blocks)", s.nextBlk, limit/BlockSize)
+	}
+	if s.nextBlk*BlockSize < dataStart {
+		prob("bump pointer %d inside reserved region (data starts at block %d)",
+			s.nextBlk, dataStart/BlockSize)
+	}
+
+	// WAL ring geometry: the head stays inside the reserved region on a
+	// sector boundary, and committed frames imply a nonzero head.
+	if s.walBlocks > 0 {
+		if s.walHead < 0 || s.walHead > s.walBlocks*BlockSize {
+			prob("wal head %d outside region of %d blocks", s.walHead, s.walBlocks)
+		}
+		if s.walHead%walSector != 0 {
+			prob("wal head %d not sector aligned", s.walHead)
+		}
+		if s.walSeq > 0 && s.walHead == 0 {
+			prob("wal seq %d with empty ring", s.walSeq)
+		}
 	}
 	return problems
 }

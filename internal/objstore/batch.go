@@ -186,7 +186,9 @@ func (s *Store) writePageBatch(oid OID, writes []PageWrite) error {
 		if end := (w.Pg + 1) * BlockSize; end > o.size {
 			o.size = end
 		}
+		s.walNote(walOp{kind: walOpPage, oid: oid, utype: o.utype, pg: w.Pg, addr: addrs[i], sum: sums[i]})
 	}
+	s.walNote(walOp{kind: walOpSize, oid: oid, size: o.size})
 	o.dirty = true
 	if done > s.pendingDurable {
 		s.pendingDurable = done

@@ -33,6 +33,15 @@ type CheckpointStats struct {
 // returned stats carry the virtual durability time, which callers such as
 // the orchestrator wait on before externalizing effects.
 func (s *Store) Checkpoint() (CheckpointStats, error) {
+	// When WAL frames are outstanding this checkpoint is their fold: record
+	// it before the flight ring is serialized so the committing snapshot
+	// carries the fold that absorbed the frames.
+	s.mu.Lock()
+	foldBase, foldFrames := s.curEpoch(), s.walSeq
+	s.mu.Unlock()
+	if foldFrames > 0 {
+		s.fl.Record(int64(s.clk.Now()), flight.EvWALFold, int64(foldBase), int64(foldFrames), 0, "")
+	}
 	s.persistFlight()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -143,7 +152,10 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 	// power loss a plain submit could land while a dependency on another
 	// stripe member was still queued, and recovery would follow a valid
 	// superblock into rolled-back metadata.
-	sb := encodeSuperblock(superblock{epoch: cur, indexAddr: idxAddr, indexLen: idxLen})
+	sb := encodeSuperblock(superblock{
+		epoch: cur, indexAddr: idxAddr, indexLen: idxLen,
+		walBase: s.walBase, walBlocks: s.walBlocks,
+	})
 	slotOff := int64(s.superSlot) * BlockSize
 	sbDone, err := s.dev.SubmitWriteAfter(sb, slotOff, s.pendingDurable)
 	if err != nil {
@@ -181,6 +193,27 @@ func (s *Store) Checkpoint() (CheckpointStats, error) {
 		s.releasing, s.releasingMeta = nil, nil
 	}
 	s.promoteReleasedLocked()
+
+	// 6. This commit folds any outstanding WAL frames into base state: the
+	// new index fully describes them, so their generation is dead. The head
+	// reset itself is deferred until virtual time passes sbDone — a crash
+	// before that instant recovers the previous superblock, whose epoch
+	// still matches the old frames (see maybeResetWALLocked).
+	if s.walBlocks > 0 {
+		s.walPending = nil
+		if s.walSeq > 0 || s.walHead > 0 {
+			s.pendingWALReset = true
+			s.walResetAt = sbDone
+		}
+		if s.walSeq > 0 {
+			s.walSeq = 0
+			s.walDurable = make(map[uint64]time.Duration)
+			if s.tr != nil {
+				s.tr.Count("objstore.wal_folds", 1)
+			}
+		}
+	}
+	s.observeDurableLocked(sbDone)
 
 	st.DurableAt = sbDone
 	st.CommitCharged = sw.Elapsed()
@@ -264,6 +297,11 @@ func (s *Store) WaitDurable(epoch Epoch) error {
 	if first {
 		s.fl.Record(int64(s.clk.Now()), flight.EvDevSettle, int64(epoch), int64(t), 0, "")
 	}
+	// Waiting past a folding commit's superblock completes its deferred WAL
+	// head reset — callers that barrier on the fold see the log reclaimed.
+	s.mu.Lock()
+	s.maybeResetWALLocked()
+	s.mu.Unlock()
 	return nil
 }
 

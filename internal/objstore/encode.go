@@ -16,6 +16,7 @@ const (
 	magicIndex  = 0x41524958 // "ARIX"
 	magicRecord = 0x41524F42 // "AROB"
 	magicFrame  = 0x4152464D // "ARFM"
+	magicWAL    = 0x4152574C // "ARWL"
 )
 
 // Object shapes stored in records.
@@ -329,11 +330,14 @@ func decodeIndex(b []byte) (*indexState, error) {
 	return st, nil
 }
 
-// superblock is the commit point.
+// superblock is the commit point. It also fixes the WAL region geometry,
+// so recovery never has to re-derive it from the device size.
 type superblock struct {
 	epoch     Epoch
 	indexAddr int64
 	indexLen  int64
+	walBase   int64
+	walBlocks int64
 }
 
 // encodeSuperblock fills one block.
@@ -343,6 +347,8 @@ func encodeSuperblock(sb superblock) []byte {
 	e.u64(uint64(sb.epoch))
 	e.i64(sb.indexAddr)
 	e.i64(sb.indexLen)
+	e.i64(sb.walBase)
+	e.i64(sb.walBlocks)
 	body := e.seal()
 	out := make([]byte, BlockSize)
 	copy(out, body)
@@ -352,7 +358,7 @@ func encodeSuperblock(sb superblock) []byte {
 // decodeSuperblock parses a superblock slot; ok is false for blank or
 // corrupt slots.
 func decodeSuperblock(b []byte) (superblock, bool) {
-	const bodyLen = 4 + 8 + 8 + 8 + 4
+	const bodyLen = 4 + 8 + 8 + 8 + 8 + 8 + 4
 	if len(b) < bodyLen {
 		return superblock{}, false
 	}
@@ -367,6 +373,8 @@ func decodeSuperblock(b []byte) (superblock, bool) {
 		epoch:     Epoch(d.u64()),
 		indexAddr: d.i64(),
 		indexLen:  d.i64(),
+		walBase:   d.i64(),
+		walBlocks: d.i64(),
 	}
 	if d.err != nil {
 		return superblock{}, false

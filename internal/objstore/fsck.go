@@ -36,12 +36,13 @@ func (s *Store) Fsck() FsckReport {
 	var rep FsckReport
 	s.mu.Lock()
 	devSize := s.dev.Size()
+	dataStart := s.dataStart()
 	seen := make(map[int64]OID)
 	claim := func(oid OID, addr int64, what string) {
 		if addr == 0 {
 			return
 		}
-		if addr < 2*BlockSize || addr+BlockSize > devSize {
+		if addr < dataStart || addr+BlockSize > devSize {
 			rep.problemf("object %d: %s block %#x out of device bounds", oid, what, addr)
 			return
 		}
@@ -61,7 +62,7 @@ func (s *Store) Fsck() FsckReport {
 		case o.journal != nil:
 			rep.Journals++
 			js := o.journal
-			if js.extentAddr < 2*BlockSize || js.extentAddr+js.capBlocks*BlockSize > devSize {
+			if js.extentAddr < dataStart || js.extentAddr+js.capBlocks*BlockSize > devSize {
 				rep.problemf("journal %d: extent [%#x,+%d blocks) out of bounds", oid, js.extentAddr, js.capBlocks)
 			}
 			for i := int64(0); i < js.capBlocks; i++ {
@@ -91,7 +92,7 @@ func (s *Store) Fsck() FsckReport {
 					claim(oid, a, fmt.Sprintf("page %d", ci*ChunkFanout+int64(slot)))
 					// Scrub: the page's bytes must hash to the checksum
 					// stored beside its address.
-					if a == 0 || a < 2*BlockSize || a+BlockSize > devSize {
+					if a == 0 || a < dataStart || a+BlockSize > devSize {
 						continue
 					}
 					if _, err := s.dev.ReadAt(page, a); err != nil {
@@ -130,6 +131,8 @@ func (s *Store) Fsck() FsckReport {
 
 	// Retained history must load.
 	retained := append([]ckptInfo(nil), s.retained...)
+	walBase, walBlocks := s.walBase, s.walBlocks
+	walHead, walSeq, epoch := s.walHead, s.walSeq, s.epoch
 	s.mu.Unlock()
 	for _, c := range retained {
 		rep.RetainedEpochs++
@@ -137,7 +140,61 @@ func (s *Store) Fsck() FsckReport {
 			rep.problemf("retained epoch %d: index unreadable: %v", c.epoch, err)
 		}
 	}
+	s.fsckWAL(&rep, walBase, walBlocks, walHead, walSeq, epoch)
 	return rep
+}
+
+// fsckWAL verifies the reserved WAL region: every frame inside the
+// committed head must decode (a CRC mismatch there is corruption, not a
+// torn tail), the current generation's sequence numbers must chain 1..walSeq
+// contiguously, and no frame anywhere may claim a base epoch the store has
+// never committed (an orphaned segment). Bytes past the head that fail to
+// decode are a clean torn tail and are ignored.
+func (s *Store) fsckWAL(rep *FsckReport, walBase, walBlocks, walHead int64, walSeq uint64, epoch Epoch) {
+	if walBlocks == 0 {
+		return
+	}
+	region := make([]byte, walBlocks*BlockSize)
+	if _, err := s.dev.ReadAt(region, walBase); err != nil {
+		rep.problemf("wal: region unreadable: %v", err)
+		return
+	}
+	var off int64
+	var maxSeq uint64
+	seenCur := false
+	for off < walHead {
+		fr, padded, ok := decodeWALFrame(region[off:])
+		if !ok {
+			rep.problemf("wal: undecodable frame at %#x inside committed head %#x", walBase+off, walHead)
+			return
+		}
+		if fr.base > epoch {
+			rep.problemf("wal: orphaned frame at %#x for future epoch %d (store at %d)", walBase+off, fr.base, epoch)
+		} else if fr.base == epoch {
+			if fr.seq != maxSeq+1 {
+				rep.problemf("wal: frame at %#x has seq %d, expected %d", walBase+off, fr.seq, maxSeq+1)
+			}
+			maxSeq = fr.seq
+			seenCur = true
+		} else if seenCur {
+			rep.problemf("wal: stale generation frame at %#x inside committed head", walBase+off)
+		}
+		off += padded
+	}
+	if maxSeq != walSeq {
+		rep.problemf("wal: committed chain reaches seq %d, store says %d", maxSeq, walSeq)
+	}
+	// Past the head: stale generations are fine, future epochs are orphans.
+	for off < int64(len(region)) {
+		fr, padded, ok := decodeWALFrame(region[off:])
+		if !ok {
+			break // torn tail or erased space: clean
+		}
+		if fr.base > epoch {
+			rep.problemf("wal: orphaned frame at %#x past head for future epoch %d (store at %d)", walBase+off, fr.base, epoch)
+		}
+		off += padded
+	}
 }
 
 // LivePageAddrs returns the device byte address of every committed data

@@ -76,6 +76,8 @@ func (s *Store) CreateJournal(oid OID, utype uint16, capacity int64) (*Journal, 
 		scanned:    true,
 	}
 	o.size = 0
+	s.walNote(walOp{kind: walOpJournal, oid: oid, utype: utype,
+		addr: addr, size: blocks, gen: 1, fseq: 0})
 	return &Journal{s: s, o: o}, nil
 }
 
@@ -181,6 +183,8 @@ func (j *Journal) Truncate() {
 	js.tail = 0
 	j.o.size = 0
 	j.o.dirty = true
+	j.s.walNote(walOp{kind: walOpJournal, oid: j.o.oid, utype: j.o.utype,
+		addr: js.extentAddr, size: js.capBlocks, gen: js.generation, fseq: js.flushedSeq})
 }
 
 // Entries scans the extent and returns the records that post-date the

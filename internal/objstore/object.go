@@ -27,13 +27,18 @@ func (s *Store) PutRecord(oid OID, utype uint16, data []byte) error {
 		s.dropChunks(o)
 		o.inline = append(o.inline[:0], data...)
 		o.size = int64(len(data))
+		s.walNote(walOp{kind: walOpPut, oid: oid, utype: utype, data: append([]byte(nil), data...)})
 		return nil
 	}
 	o.inline = nil
 	if err := s.writeRangeLocked(o, 0, data); err != nil {
 		return err
 	}
-	return s.truncateLocked(o, int64(len(data)))
+	if err := s.truncateLocked(o, int64(len(data))); err != nil {
+		return err
+	}
+	s.walNote(walOp{kind: walOpSize, oid: oid, size: o.size})
+	return nil
 }
 
 // GetRecord returns the full content of oid.
@@ -61,7 +66,11 @@ func (s *Store) GetRecord(oid OID) ([]byte, error) {
 func (s *Store) Ensure(oid OID, utype uint16) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	_, existed := s.objects[oid]
 	s.ensure(oid, utype)
+	if !existed {
+		s.walNote(walOp{kind: walOpPut, oid: oid, utype: utype})
+	}
 }
 
 // Exists reports whether oid is live.
@@ -156,7 +165,11 @@ func (s *Store) WritePage(oid OID, pg int64, data []byte) error {
 	if end := (pg + 1) * BlockSize; end > o.size {
 		o.size = end
 	}
-	return s.writePageLocked(o, pg, data)
+	if err := s.writePageLocked(o, pg, data); err != nil {
+		return err
+	}
+	s.walNote(walOp{kind: walOpSize, oid: oid, size: o.size})
+	return nil
 }
 
 // writePageLocked is the COW page write. Requires mu.
@@ -183,6 +196,7 @@ func (s *Store) writePageLocked(o *object, pg int64, data []byte) error {
 	c.dirty = true
 	o.dirty = true
 	s.stats.DataBytes += BlockSize
+	s.walNote(walOp{kind: walOpPage, oid: o.oid, utype: o.utype, pg: pg, addr: addr, sum: c.sums[slot]})
 	return nil
 }
 
@@ -281,6 +295,7 @@ func (s *Store) WriteAt(oid OID, off int64, data []byte) error {
 		o.size = end
 	}
 	o.dirty = true
+	s.walNote(walOp{kind: walOpSize, oid: oid, size: o.size})
 	return nil
 }
 
@@ -401,7 +416,11 @@ func (s *Store) Truncate(oid OID, size int64) error {
 		return ErrIsJournal
 	}
 	o.dirty = true
-	return s.truncateLocked(o, size)
+	if err := s.truncateLocked(o, size); err != nil {
+		return err
+	}
+	s.walNote(walOp{kind: walOpSize, oid: oid, size: size})
+	return nil
 }
 
 // truncateLocked requires mu.
@@ -524,6 +543,7 @@ func (s *Store) Delete(oid OID) error {
 	}
 	delete(s.objects, oid)
 	s.deleted[oid] = true
+	s.walNote(walOp{kind: walOpDelete, oid: oid})
 	return nil
 }
 

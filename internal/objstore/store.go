@@ -13,14 +13,18 @@
 //
 // On-device layout:
 //
-//	block 0,1: alternating superblocks (commit points)
-//	block 2..: COW blocks — data pages, block-map chunks, object records,
-//	           checkpoint indexes — plus preallocated journal extents
+//	block 0,1:  alternating superblocks (commit points)
+//	block 2..:  reserved WAL region (walBlocksFor blocks) — a ring of
+//	            CRC-framed delta records for WAL-first commits (see wal.go)
+//	after WAL:  COW blocks — data pages, block-map chunks, object records,
+//	            checkpoint indexes — plus preallocated journal extents
 //
 // Each checkpoint writes: new data blocks (already submitted asynchronously
 // during the interval), block-map chunks for modified objects, one record
 // per modified object, and one index enumerating every object record and
-// the allocator state. The superblock points at the index.
+// the allocator state. The superblock points at the index. Between
+// checkpoints, WALCommit makes the interval durable early by appending one
+// delta frame to the WAL region; a later checkpoint folds the frames away.
 package objstore
 
 import (
@@ -81,6 +85,7 @@ type BlockDev interface {
 	SubmitWrite(p []byte, off int64) (time.Duration, error)
 	SubmitWriteAfter(p []byte, off int64, after time.Duration) (time.Duration, error)
 	SubmitWritev(bufs [][]byte, off int64) (time.Duration, error)
+	SubmitWritevAfter(bufs [][]byte, off int64, after time.Duration) (time.Duration, error)
 	SubmitRead(p []byte, off int64) (time.Duration, error)
 	WaitUntil(t time.Duration)
 	Flush()
@@ -213,23 +218,54 @@ type Store struct {
 
 	superSlot int // which superblock slot the next commit uses
 
+	// WAL-first commit state (see wal.go). walBase/walBlocks fix the
+	// reserved region's geometry at Format time; walHead is the append
+	// offset within it; walSeq numbers this generation's committed frames
+	// (reset to 0 by every fold); walPending accumulates the interval's
+	// delta ops; walDurable maps frame seqs to durability times.
+	walBase     int64
+	walBlocks   int64
+	walHead     int64
+	walSeq      uint64
+	walPending  []walOp
+	walDurable  map[uint64]time.Duration
+	walReplayed int // frames replayed by the last Recover
+
+	// pendingWALReset defers the head reset (log-structured GC of the
+	// folded generation) until virtual time passes walResetAt, the folding
+	// superblock's completion: before that instant a crash can still
+	// recover to the previous superblock, which needs the old frames.
+	pendingWALReset bool
+	walResetAt      time.Duration
+
+	// replaying suppresses walNote while walRecover drives the regular
+	// locked mutators, so replay does not re-log itself.
+	replaying bool
+
+	// lastDurable is the previous durability point (WAL frame or
+	// superblock), feeding the durable-window histogram.
+	lastDurable time.Duration
+
 	stats Stats
 }
 
 // Format initializes an empty store on dev, committing epoch 0.
 func Format(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
 	s := &Store{
-		dev:       dev,
-		clk:       clk,
-		costs:     costs,
-		nextOID:   1,
-		nextBlk:   2, // blocks 0,1 are superblocks
-		objects:   make(map[OID]*object),
-		deleted:   make(map[OID]bool),
-		durableAt: make(map[Epoch]time.Duration),
-		birthOf:   make(map[int64]Epoch),
-		settled:   make(map[Epoch]bool),
+		dev:        dev,
+		clk:        clk,
+		costs:      costs,
+		nextOID:    1,
+		walBase:    2 * BlockSize, // blocks 0,1 are superblocks
+		walBlocks:  walBlocksFor(dev.Size()),
+		objects:    make(map[OID]*object),
+		deleted:    make(map[OID]bool),
+		durableAt:  make(map[Epoch]time.Duration),
+		walDurable: make(map[uint64]time.Duration),
+		birthOf:    make(map[int64]Epoch),
+		settled:    make(map[Epoch]bool),
 	}
+	s.nextBlk = s.dataStart() / BlockSize
 	if _, err := s.Checkpoint(); err != nil {
 		return nil, err
 	}
@@ -245,24 +281,32 @@ func Format(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
 // uncommitted state (the paper's crash case) is invisible.
 func Recover(dev BlockDev, clk clock.Clock, costs *clock.Costs) (*Store, error) {
 	s := &Store{
-		dev:       dev,
-		clk:       clk,
-		costs:     costs,
-		objects:   make(map[OID]*object),
-		deleted:   make(map[OID]bool),
-		durableAt: make(map[Epoch]time.Duration),
-		birthOf:   make(map[int64]Epoch),
-		settled:   make(map[Epoch]bool),
+		dev:        dev,
+		clk:        clk,
+		costs:      costs,
+		objects:    make(map[OID]*object),
+		deleted:    make(map[OID]bool),
+		durableAt:  make(map[Epoch]time.Duration),
+		walDurable: make(map[uint64]time.Duration),
+		birthOf:    make(map[int64]Epoch),
+		settled:    make(map[Epoch]bool),
 	}
 	sb, slot, err := s.readSuperblocks()
 	if err != nil {
 		return nil, err
 	}
 	s.superSlot = 1 - slot // next commit goes to the other slot
+	s.walBase = sb.walBase
+	s.walBlocks = sb.walBlocks
 	if err := s.loadIndex(sb.indexAddr, sb.indexLen); err != nil {
 		return nil, err
 	}
 	s.epoch = sb.epoch
+	// Replay any WAL frames committed on top of the recovered checkpoint:
+	// they are durable state the superblock alone does not describe.
+	if err := s.walRecover(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 

@@ -50,15 +50,21 @@ type ExecutedEvent struct {
 
 // GroupStat summarizes one workload's run.
 type GroupStat struct {
-	Group        string `json:"group"`
-	Machine      string `json:"machine"` // final host
-	Alive        bool   `json:"alive"`
-	Ops          int64  `json:"ops"`
-	Checkpoints  int64  `json:"checkpoints"`
-	Restores     int64  `json:"restores"`
-	P99StopUS    int64  `json:"p99_stop_us"`
-	StandbyEpoch int64  `json:"standby_epoch,omitempty"`
-	Syncs        int64  `json:"syncs,omitempty"`
+	Group       string `json:"group"`
+	Machine     string `json:"machine"` // final host
+	Alive       bool   `json:"alive"`
+	Ops         int64  `json:"ops"`
+	Checkpoints int64  `json:"checkpoints"`
+	// WALCommits counts checkpoints that committed as WAL frame appends
+	// rather than full epochs (wal_commit workloads).
+	WALCommits int64 `json:"wal_commits,omitempty"`
+	Restores   int64 `json:"restores"`
+	P99StopUS  int64 `json:"p99_stop_us"`
+	// P99DurableUS is the p99 of per-checkpoint durable windows — the
+	// virtual span from checkpoint start to the commit landing on media.
+	P99DurableUS int64 `json:"p99_durable_us,omitempty"`
+	StandbyEpoch int64 `json:"standby_epoch,omitempty"`
+	Syncs        int64 `json:"syncs,omitempty"`
 }
 
 // MachineFlight is one machine's combined forensic timeline (persisted
@@ -85,8 +91,8 @@ func (r *Result) Fingerprint() string {
 		w("event %d %d %s %s err=%s\n", e.AtMS, e.FiredNS, e.Kind, e.Target, e.Err)
 	}
 	for _, g := range r.Groups {
-		w("group %s on=%s alive=%v ops=%d ckpts=%d restores=%d p99=%d epoch=%d syncs=%d\n",
-			g.Group, g.Machine, g.Alive, g.Ops, g.Checkpoints, g.Restores, g.P99StopUS, g.StandbyEpoch, g.Syncs)
+		w("group %s on=%s alive=%v ops=%d ckpts=%d wal=%d restores=%d p99=%d durable=%d epoch=%d syncs=%d\n",
+			g.Group, g.Machine, g.Alive, g.Ops, g.Checkpoints, g.WALCommits, g.Restores, g.P99StopUS, g.P99DurableUS, g.StandbyEpoch, g.Syncs)
 	}
 	for _, f := range r.Flights {
 		w("flight %s\n%s", f.Machine, f.Timeline)
@@ -134,6 +140,9 @@ func (r *Result) Summary() string {
 			g.Group, g.Machine, g.Alive, g.Ops, g.Checkpoints, g.Restores)
 		if g.P99StopUS > 0 {
 			fmt.Fprintf(&sb, " p99stop=%dus", g.P99StopUS)
+		}
+		if g.WALCommits > 0 {
+			fmt.Fprintf(&sb, " wal=%d p99durable=%dus", g.WALCommits, g.P99DurableUS)
 		}
 		if g.Syncs > 0 {
 			fmt.Fprintf(&sb, " syncs=%d standby@%d", g.Syncs, g.StandbyEpoch)

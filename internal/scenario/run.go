@@ -44,9 +44,14 @@ type groupState struct {
 
 	ops          int64
 	ckpts        int64
+	walCommits   int64
 	lastCkptMS   int64
 	stopTimes    []time.Duration
 	restoreTimes []time.Duration
+	// durableWindows is, per checkpoint, the span from checkpoint start to
+	// the commit being durable on media — the loss window WAL-first commit
+	// is designed to shrink.
+	durableWindows []time.Duration
 }
 
 // replState is one declared replication's live handle.
@@ -180,6 +185,9 @@ func (r *runner) setup() error {
 		}
 		if err != nil {
 			return fmt.Errorf("workload %q on %q: %w", wd.App, wd.Machine, err)
+		}
+		if gs.g != nil && wd.FoldEvery > 0 {
+			gs.g.Options.FoldEvery = int(wd.FoldEvery)
 		}
 		key := wd.Group
 		if key == "" {
@@ -352,7 +360,8 @@ func (r *runner) checkpointGroup(key string, gs *groupState) {
 		gs.ckpts++
 		return
 	}
-	st, err := gs.g.Checkpoint(aurora.CkptIncremental)
+	start := r.clk.Now()
+	st, err := gs.g.Checkpoint(gs.ckptKind())
 	if err != nil {
 		r.recordErr("checkpoint %s: %v", key, err)
 		gs.alive = false
@@ -363,8 +372,39 @@ func (r *runner) checkpointGroup(key string, gs *groupState) {
 		gs.alive = false
 		return
 	}
+	gs.record(st, start)
+}
+
+// ckptKind is the checkpoint kind this workload declared: WAL-first when
+// wal_commit is set, a full incremental epoch otherwise.
+func (gs *groupState) ckptKind() aurora.CheckpointKind {
+	if gs.decl.WALCommit {
+		return aurora.CkptWAL
+	}
+	return aurora.CkptIncremental
+}
+
+// record books one committed checkpoint: its stop time and the durable
+// window from checkpoint start to the commit persisting on media.
+func (gs *groupState) record(st aurora.CheckpointStats, start time.Duration) {
 	gs.ckpts++
+	if st.WALSeq != 0 {
+		gs.walCommits++
+	}
 	gs.stopTimes = append(gs.stopTimes, st.StopTime)
+	w := st.DurableAt - start
+	if w < 0 {
+		w = 0
+	}
+	gs.durableWindows = append(gs.durableWindows, w)
+}
+
+// applyWALOptions re-applies the workload's declared WAL fold cadence to a
+// (possibly fresh) group incarnation after restore/failover/migrate.
+func (gs *groupState) applyWALOptions() {
+	if gs.g != nil && gs.decl.FoldEvery > 0 {
+		gs.g.Options.FoldEvery = int(gs.decl.FoldEvery)
+	}
 }
 
 func (r *runner) syncRepl(name string, rs *replState) {
@@ -449,6 +489,7 @@ func (r *runner) fireRestore(e EventDecl) {
 	gs.g = g
 	gs.host = ms
 	gs.alive = true
+	gs.applyWALOptions()
 	gs.restoreTimes = append(gs.restoreTimes, rst.Time)
 	if err := gs.app.rebind(gs); err != nil {
 		r.recordErr("rebind %s: %v", e.Group, err)
@@ -506,6 +547,7 @@ func (r *runner) fireMigrate(e EventDecl) {
 	}
 	gs.g = g2
 	gs.host = dst
+	gs.applyWALOptions()
 	gs.stopTimes = append(gs.stopTimes, mst.FinalStop)
 	if err := gs.app.rebind(gs); err != nil {
 		r.recordErr("rebind %s after migrate: %v", e.Group, err)
@@ -528,6 +570,7 @@ func (r *runner) fireFailover(e EventDecl) {
 	gs.g = g2
 	gs.host = rs.to
 	gs.alive = true
+	gs.applyWALOptions()
 	gs.restoreTimes = append(gs.restoreTimes, rst.Time)
 	rs.alive = false // the standby is now the primary; the old wire is done
 	if err := gs.app.rebind(gs); err != nil {
@@ -543,14 +586,14 @@ func (r *runner) fireCheckpoint(e EventDecl) {
 			r.recordEvent(e, e.Group, fmt.Errorf("group is down"))
 			return
 		}
-		st, err := gs.g.Checkpoint(aurora.CkptIncremental)
+		start := r.clk.Now()
+		st, err := gs.g.Checkpoint(gs.ckptKind())
 		if err == nil {
 			err = gs.g.Barrier()
 		}
 		r.recordEvent(e, e.Group, err)
 		if err == nil {
-			gs.ckpts++
-			gs.stopTimes = append(gs.stopTimes, st.StopTime)
+			gs.record(st, start)
 		}
 		return
 	}
@@ -573,13 +616,15 @@ func (r *runner) finish() {
 	for _, key := range r.groupOrder {
 		gs := r.groups[key]
 		st := GroupStat{
-			Group:       key,
-			Machine:     gs.host.decl.Name,
-			Alive:       gs.alive,
-			Ops:         gs.ops,
-			Checkpoints: gs.ckpts,
-			Restores:    int64(len(gs.restoreTimes)),
-			P99StopUS:   p99us(gs.stopTimes),
+			Group:        key,
+			Machine:      gs.host.decl.Name,
+			Alive:        gs.alive,
+			Ops:          gs.ops,
+			Checkpoints:  gs.ckpts,
+			WALCommits:   gs.walCommits,
+			Restores:     int64(len(gs.restoreTimes)),
+			P99StopUS:    p99us(gs.stopTimes),
+			P99DurableUS: p99us(gs.durableWindows),
 		}
 		if rs, ok := r.repls[key]; ok && rs.rep != nil {
 			st.StandbyEpoch = int64(rs.rep.Base())
@@ -686,6 +731,14 @@ func (r *runner) evaluate(a AssertionDecl) AssertionResult {
 		}
 		p99 := p99us(gs.stopTimes)
 		return pass(p99 <= a.MaxUS, "p99 stop %dus over %d checkpoints (want <= %dus)", p99, len(gs.stopTimes), a.MaxUS)
+	case AssertDurableWindowUnderUS:
+		gs := r.groups[a.Group]
+		if len(gs.durableWindows) == 0 {
+			return pass(false, "no checkpoints measured")
+		}
+		p99 := p99us(gs.durableWindows)
+		return pass(p99 <= a.MaxUS, "p99 durable window %dus over %d commits (%d via WAL, want <= %dus)",
+			p99, len(gs.durableWindows), gs.walCommits, a.MaxUS)
 	case AssertRestoreUnderUS:
 		gs := r.groups[a.Group]
 		if len(gs.restoreTimes) == 0 {

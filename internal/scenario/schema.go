@@ -96,6 +96,13 @@ type WorkloadDecl struct {
 	// CheckpointEveryMS is the periodic checkpoint cadence; 0 means only
 	// explicit checkpoint events persist this workload.
 	CheckpointEveryMS int64 `json:"checkpoint_every_ms,omitempty"`
+	// WALCommit makes periodic and explicit checkpoints of this group
+	// WAL-first (CkptWAL): deltas append to the store's log region and the
+	// epoch only advances on a fold. FoldEvery promotes every Nth WAL
+	// commit to a full checkpoint so the log region is reclaimed; 0 means
+	// the group folds only when the WAL region fills.
+	WALCommit bool  `json:"wal_commit,omitempty"`
+	FoldEvery int64 `json:"fold_every,omitempty"`
 }
 
 // ReplDecl keeps a warm standby of a group on another machine, syncing on
@@ -162,12 +169,16 @@ const (
 	AssertGroupOn         = "group-on"             // machine+group: group is live there
 	AssertP99StopUnderUS  = "p99-stop-under-us"    // group: p99 checkpoint stop time <= max µs
 	AssertRestoreUnderUS  = "restores-under-us"    // group: every restore time <= max µs
+	// group: p99 durable window (checkpoint start to frame durable) <= max
+	// µs — the proof WAL-first commit keeps the loss window tiny.
+	AssertDurableWindowUnderUS = "durable-window-under-us"
 )
 
 var assertionKinds = []string{
 	AssertAuditClean, AssertFsckClean, AssertFsckProblems, AssertFlightContains,
 	AssertStandbyMinEpoch, AssertSyncsAtLeast, AssertOpsAtLeast, AssertCkptsAtLeast,
 	AssertGroupOn, AssertP99StopUnderUS, AssertRestoreUnderUS,
+	AssertDurableWindowUnderUS,
 }
 
 // AssertionDecl is one end-of-run check.
@@ -278,6 +289,15 @@ func (s *Scenario) Validate() error {
 		}
 		if w.Items < 0 || w.OpsPerTick < 0 || w.ValueBytes < 0 || w.CheckpointEveryMS < 0 {
 			bad("%s: sizes and cadences must not be negative", at)
+		}
+		if w.FoldEvery < 0 {
+			bad("%s.fold_every: must not be negative, got %d", at, w.FoldEvery)
+		}
+		if (w.WALCommit || w.FoldEvery > 0) && w.Group == "" {
+			bad("%s: wal_commit/fold_every need a consistency group", at)
+		}
+		if w.FoldEvery > 0 && !w.WALCommit {
+			bad("%s.fold_every: only meaningful with wal_commit", at)
 		}
 	}
 
@@ -423,7 +443,7 @@ func (s *Scenario) Validate() error {
 		case AssertGroupOn:
 			needMachine()
 			needGroup()
-		case AssertP99StopUnderUS, AssertRestoreUnderUS:
+		case AssertP99StopUnderUS, AssertRestoreUnderUS, AssertDurableWindowUnderUS:
 			needGroup()
 			if a.MaxUS <= 0 {
 				bad("%s.max_us: needs a positive bound", at)
@@ -626,6 +646,8 @@ func (d *decoder) scenario(raw map[string]any) *Scenario {
 			OpsPerTick:        d.i64(o, path, "ops_per_tick"),
 			Personality:       d.str(o, path, "personality"),
 			CheckpointEveryMS: d.i64(o, path, "checkpoint_every_ms"),
+			WALCommit:         d.boolean(o, path, "wal_commit"),
+			FoldEvery:         d.i64(o, path, "fold_every"),
 		}
 		d.noExtra(o, path)
 		sc.Workloads = append(sc.Workloads, wd)

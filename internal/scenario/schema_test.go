@@ -231,6 +231,41 @@ events:
 `,
 			want: "assertions[1].max_us: needs a positive bound",
 		},
+		{
+			name: "durable window bound without max_us",
+			src: validSrc + `
+  - kind: durable-window-under-us
+    group: demo
+`,
+			want: "assertions[1].max_us: needs a positive bound",
+		},
+		{
+			name: "fold_every without wal_commit",
+			src:  strings.Replace(validSrc, "app: counter", "app: counter\n    fold_every: 4", 1),
+			want: "workloads[0].fold_every: only meaningful with wal_commit",
+		},
+		{
+			name: "negative fold_every",
+			src:  strings.Replace(validSrc, "app: counter", "app: counter\n    wal_commit: true\n    fold_every: -1", 1),
+			want: "workloads[0].fold_every: must not be negative",
+		},
+		{
+			name: "wal_commit without a group",
+			src: `
+name: t
+duration_ms: 10
+machines:
+  - name: alpha
+workloads:
+  - machine: alpha
+    app: filebench
+    wal_commit: true
+assertions:
+  - kind: audit-clean
+    machine: alpha
+`,
+			want: "workloads[0]: wal_commit/fold_every need a consistency group",
+		},
 	}
 
 	for _, tc := range cases {

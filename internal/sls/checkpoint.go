@@ -1,6 +1,7 @@
 package sls
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -47,11 +48,24 @@ const (
 // Checkpoint takes a checkpoint of the whole consistency group.
 func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	o := g.o
+
+	// Periodic folding: every Nth WAL commit is promoted to a full
+	// checkpoint so frame chains stay short and the ring reclaims.
+	if kind == CkptWAL && g.Options.FoldEvery > 0 && g.walSinceFold >= g.Options.FoldEvery {
+		kind = CkptIncremental
+	}
 	st := CheckpointStats{Kind: kind}
 
-	// 1. Previous flush must be durable; its covered messages release.
-	if g.lastEpoch != 0 {
-		if err := o.Store.WaitDurable(g.lastEpoch); err == nil {
+	// 1. Previous flush must be durable; its covered messages release. A
+	// WAL commit's durability point is its frame, not an epoch.
+	if g.lastEpoch != 0 || g.lastWALSeq != 0 {
+		var werr error
+		if g.lastWALSeq != 0 {
+			werr = o.Store.WaitWALDurable(g.lastWALSeq)
+		} else {
+			werr = o.Store.WaitDurable(g.lastEpoch)
+		}
+		if werr == nil {
 			g.releaseES()
 		}
 	}
@@ -239,10 +253,46 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 	}
 	g.prevLive = ser.live
 
+	// 8a. WAL-first commit: the cut is one CRC-framed delta append ordered
+	// behind the interval's flushed writes, not a new epoch. The epoch —
+	// and with it history retention — does not advance; a later fold
+	// absorbs the frames. A full ring degrades to the fold below, which
+	// both commits the deltas and reclaims the ring.
+	if kind == CkptWAL {
+		wst, werr := o.Store.WALCommit()
+		if werr == nil {
+			o.Store.Flight().Record(int64(o.Clk.Now()), flight.EvCheckpointEnd,
+				int64(g.oid), int64(wst.Base), res.bytes, g.Name)
+			st.Epoch = wst.Base
+			st.WALSeq = wst.Seq
+			st.DurableAt = wst.DurableAt
+			g.lastEpoch = wst.Base
+			g.lastWALSeq = wst.Seq
+			g.walSinceFold++
+			g.lastCkpt = o.Clk.Now()
+			g.ckpts++
+			if tr := o.Tracer; tr != nil {
+				tr.Range(trace.TrackSLS, "durable.window", o.Clk.Now(), st.DurableAt,
+					trace.I("epoch", int64(st.Epoch)), trace.I("wal_seq", int64(st.WALSeq)))
+				tr.Count("sls.checkpoints", 1)
+				tr.Count("sls.wal_commits", 1)
+				tr.Count("sls.dirty_pages", st.DirtyPages)
+				tr.Count("sls.flush_bytes", st.FlushBytes)
+			}
+			ckptSpan.End(trace.I("epoch", int64(st.Epoch)), trace.I("wal_seq", int64(st.WALSeq)))
+			return st, nil
+		}
+		if !errors.Is(werr, objstore.ErrWALFull) {
+			return st, werr
+		}
+	}
+
 	cst, err := o.Store.Checkpoint()
 	if err != nil {
 		return st, err
 	}
+	g.lastWALSeq = 0
+	g.walSinceFold = 0
 	o.Store.Flight().Record(int64(o.Clk.Now()), flight.EvCheckpointEnd,
 		int64(g.oid), int64(cst.Epoch), res.bytes, g.Name)
 	st.Epoch = cst.Epoch
@@ -268,8 +318,16 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 }
 
 // Barrier waits until the group's last checkpoint is durable and releases
-// externally-synchronized messages — sls_barrier.
+// externally-synchronized messages — sls_barrier. After a WAL commit the
+// durability point is the frame append, not an epoch.
 func (g *Group) Barrier() error {
+	if g.lastWALSeq != 0 {
+		if err := g.o.Store.WaitWALDurable(g.lastWALSeq); err != nil {
+			return err
+		}
+		g.releaseES()
+		return nil
+	}
 	if g.lastEpoch == 0 {
 		return nil
 	}

@@ -64,6 +64,14 @@ const (
 	// CkptMemOnly performs the stop-side work (quiesce, serialize,
 	// shadow) but does not commit to the store — the paper's "Mem" rows.
 	CkptMemOnly
+	// CkptWAL runs the full stop-side and flush work but commits by
+	// appending one delta frame to the store's reserved WAL region instead
+	// of writing a new epoch: the durable window shrinks to one ordered
+	// frame append, and a later fold (an ordinary committing checkpoint,
+	// taken explicitly or forced by Options.FoldEvery) absorbs the frames
+	// into base objects. When the ring cannot take the frame the commit
+	// transparently folds instead.
+	CkptWAL
 )
 
 // CheckpointStats reports one checkpoint's costs.
@@ -75,6 +83,7 @@ const (
 // time is the direct signature of stage overlap.
 type CheckpointStats struct {
 	Epoch      objstore.Epoch
+	WALSeq     uint64 // nonzero when the commit was a WAL frame append
 	Kind       CheckpointKind
 	StopTime   time.Duration // application pause (quiesce..resume)
 	OSTime     time.Duration // portion spent serializing POSIX objects
@@ -154,6 +163,12 @@ type Options struct {
 	// the same pipeline drained by a single worker, so serial and
 	// parallel flushes produce identical store content.
 	FlushWorkers int
+
+	// FoldEvery, when positive, promotes every Nth CkptWAL commit to a
+	// full checkpoint, bounding both replay length after a crash and the
+	// ring space dead generations occupy. 0 folds only when the ring
+	// fills or the caller checkpoints with a committing kind.
+	FoldEvery int
 }
 
 // Group is a consistency group: processes checkpointed atomically.
@@ -196,6 +211,13 @@ type Group struct {
 	lastEpoch objstore.Epoch
 	lastCkpt  time.Duration
 	ckpts     int64
+	// lastWALSeq is the frame sequence of the group's newest WAL commit;
+	// zero when the newest commit was a full checkpoint. Barriers and ES
+	// release wait on the frame's durability instead of the epoch's.
+	lastWALSeq uint64
+	// walSinceFold counts WAL commits since the last fold, driving
+	// Options.FoldEvery.
+	walSinceFold int
 
 	// vnodeRef tracks slsfs objects this group holds hidden references
 	// on (open descriptors of checkpointed processes).
@@ -370,6 +392,10 @@ func (g *Group) Maps() []*vm.Map {
 
 // Epoch returns the last committed checkpoint epoch for this group.
 func (g *Group) Epoch() objstore.Epoch { return g.lastEpoch }
+
+// WALSeq returns the frame sequence of the group's newest WAL commit, or
+// zero when the newest commit was a full checkpoint.
+func (g *Group) WALSeq() uint64 { return g.lastWALSeq }
 
 // Checkpoints returns how many checkpoints the group has taken.
 func (g *Group) Checkpoints() int64 { return g.ckpts }
