@@ -1,4 +1,4 @@
-package aurora
+package aurora_test
 
 // One benchmark per table and figure of the paper's evaluation (§9). Each
 // runs the corresponding experiment harness at Quick scale and reports the
@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"aurora"
 	"aurora/internal/experiments"
 	"aurora/internal/vm"
 )
@@ -170,20 +171,20 @@ func BenchmarkTable7(b *testing.B) {
 
 // buildShadowed creates a map with a large base, one dirty page, and a
 // frozen shadow ready to collapse.
-func buildShadowed(b *testing.B, basePages int) (*Machine, []vm.ShadowPair) {
+func buildShadowed(b *testing.B, basePages int) (*aurora.Machine, []vm.ShadowPair) {
 	b.Helper()
-	m, err := NewMachine(Defaults())
+	m, err := aurora.NewMachine(aurora.Defaults())
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := m.Spawn("ablate")
-	va, err := p.Mmap(int64(basePages)*PageSize, ProtRead|ProtWrite, false)
+	va, err := p.Mmap(int64(basePages)*aurora.PageSize, aurora.ProtRead|aurora.ProtWrite, false)
 	if err != nil {
 		b.Fatal(err)
 	}
-	buf := make([]byte, PageSize)
+	buf := make([]byte, aurora.PageSize)
 	for i := 0; i < basePages; i++ {
-		if err := p.WriteMem(va+uint64(i)*PageSize, buf); err != nil {
+		if err := p.WriteMem(va+uint64(i)*aurora.PageSize, buf); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -226,12 +227,12 @@ func BenchmarkAblationCollapseLegacy(b *testing.B) {
 // the virtual-us metric.
 func benchRestore(b *testing.B, lazy bool) {
 	for i := 0; i < b.N; i++ {
-		m, _ := NewMachine(Defaults())
+		m, _ := aurora.NewMachine(aurora.Defaults())
 		p := m.Spawn("app")
-		va, _ := p.Mmap(64<<20, ProtRead|ProtWrite, false)
-		buf := make([]byte, PageSize)
-		for pg := 0; pg < (64<<20)/PageSize; pg++ {
-			p.WriteMem(va+uint64(pg)*PageSize, buf[:1])
+		va, _ := p.Mmap(64<<20, aurora.ProtRead|aurora.ProtWrite, false)
+		buf := make([]byte, aurora.PageSize)
+		for pg := 0; pg < (64<<20)/aurora.PageSize; pg++ {
+			p.WriteMem(va+uint64(pg)*aurora.PageSize, buf[:1])
 		}
 		m.Attach("app", p)
 		if _, err := m.Checkpoint("app"); err != nil {
@@ -241,7 +242,7 @@ func benchRestore(b *testing.B, lazy bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		var rst RestoreStats
+		var rst aurora.RestoreStats
 		if lazy {
 			_, rst, err = m2.RestoreLazily("app")
 		} else {
@@ -264,10 +265,10 @@ func BenchmarkAblationRestoreLazy(b *testing.B) { benchRestore(b, true) }
 // with namei path lookups instead of inode references (§5.2's optimization),
 // comparing the charged virtual time of both strategies over 100 vnodes.
 func BenchmarkAblationVnodeByPath(b *testing.B) {
-	m, _ := NewMachine(Defaults())
+	m, _ := aurora.NewMachine(aurora.Defaults())
 	p := m.Spawn("files")
 	for i := 0; i < 100; i++ {
-		if _, err := p.Open(fmt.Sprintf("/f%03d", i), ORead|OWrite, true); err != nil {
+		if _, err := p.Open(fmt.Sprintf("/f%03d", i), aurora.ORead|aurora.OWrite, true); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,13 +297,13 @@ func BenchmarkAblationExternalSynchrony(b *testing.B) {
 			name = "fdctl-disabled"
 		}
 		b.Run(name, func(b *testing.B) {
-			m, _ := NewMachine(Defaults())
+			m, _ := aurora.NewMachine(aurora.Defaults())
 			app := m.Spawn("app")
 			ext := m.Spawn("client")
 			g, _ := m.Attach("app", app)
-			efd, _ := ext.Socket(SockUDP)
+			efd, _ := ext.Socket(aurora.SockUDP)
 			ext.Bind(efd, "10.0.0.9:1")
-			afd, _ := app.Socket(SockUDP)
+			afd, _ := app.Socket(aurora.SockUDP)
 			app.Bind(afd, "10.0.0.1:1")
 			if !es {
 				if err := g.FdCtl(app, afd, true); err != nil {
@@ -315,7 +316,7 @@ func BenchmarkAblationExternalSynchrony(b *testing.B) {
 				sent := m.Now()
 				app.SendTo(afd, "10.0.0.9:1", []byte("response"))
 				if es {
-					if _, err := g.Checkpoint(CkptIncremental); err != nil {
+					if _, err := g.Checkpoint(aurora.CkptIncremental); err != nil {
 						b.Fatal(err)
 					}
 					if err := g.Barrier(); err != nil {

@@ -1,0 +1,133 @@
+package main
+
+// The `sls fleet` verb: the placement coordinator's inspection surface.
+// Machine images are single-machine artifacts, so the fleet command runs a
+// deterministic in-memory demo fleet — N machines, one counter group each
+// under the coordinator — and prints the coordinator's status and decision
+// log. With -kill, one machine dies mid-run and the output shows the
+// heartbeat detector noticing, the failovers, and the reseeded standbys:
+// the quickest way to see the placement layer work without writing a
+// scenario file.
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"aurora"
+	"aurora/internal/clock"
+	"aurora/internal/placement"
+	"aurora/internal/vm"
+)
+
+func cmdFleet(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: sls fleet status [-machines N] [-groups G] [-ticks T] [-kill MACHINE]")
+	}
+	switch args[0] {
+	case "status":
+		return cmdFleetStatus(args[1:])
+	default:
+		return fmt.Errorf("unknown fleet subcommand %q (want status)", args[0])
+	}
+}
+
+func cmdFleetStatus(args []string) error {
+	fs := flag.NewFlagSet("fleet status", flag.ExitOnError)
+	nMachines := fs.Int("machines", 4, "fleet size")
+	nGroups := fs.Int("groups", 3, "managed groups (first machines get one each)")
+	ticks := fs.Int("ticks", 40, "drive rounds (1ms of virtual time each)")
+	kill := fs.String("kill", "", "machine to kill at the halfway tick")
+	fs.Parse(args)
+	if *nMachines < 1 || *nGroups < 1 || *nGroups > *nMachines {
+		return fmt.Errorf("need 1 <= groups (%d) <= machines (%d)", *nGroups, *nMachines)
+	}
+
+	clk := clock.NewVirtual()
+	coord := placement.New(clk, placement.Config{
+		SyncEvery:      5 * time.Millisecond,
+		HeartbeatEvery: 2 * time.Millisecond,
+	})
+	type app struct {
+		name string
+		p    *aurora.Proc
+	}
+	var apps []*app
+	killed := map[string]bool{}
+	machines := make([]*aurora.Machine, *nMachines)
+	for i := 0; i < *nMachines; i++ {
+		m, err := aurora.NewMachine(aurora.Config{StorageBytes: 64 << 20, Clock: clk})
+		if err != nil {
+			return err
+		}
+		machines[i] = m
+		if _, err := coord.AddMachine(fmt.Sprintf("m%d", i), m); err != nil {
+			return err
+		}
+	}
+	// Manage only once every machine is registered — the first group's
+	// standby has to land somewhere.
+	for i := 0; i < *nGroups; i++ {
+		m := machines[i]
+		group := fmt.Sprintf("g%d", i)
+		p := m.Spawn(group)
+		if _, err := p.Mmap(1<<20, aurora.ProtRead|aurora.ProtWrite, false); err != nil {
+			return err
+		}
+		if _, err := m.Attach(group, p); err != nil {
+			return err
+		}
+		apps = append(apps, &app{name: group, p: p})
+		if _, err := coord.Manage(group, fmt.Sprintf("m%d", i), nil); err != nil {
+			return err
+		}
+	}
+
+	step := func(a *app) error {
+		var buf [8]byte
+		for i := 0; i < 20; i++ {
+			if err := a.p.ReadMem(vm.UserBase, buf[:]); err != nil {
+				return err
+			}
+			buf[0]++
+			if err := a.p.WriteMem(vm.UserBase, buf[:]); err != nil {
+				return err
+			}
+		}
+		coord.RecordOps(a.name, 20)
+		return nil
+	}
+	for t := 0; t < *ticks; t++ {
+		if *kill != "" && t == *ticks/2 {
+			if err := coord.KillMachine(*kill); err != nil {
+				return err
+			}
+			killed[*kill] = true
+			fmt.Printf("[%8.3fms] kill       node=%s\n", float64(clk.Now().Microseconds())/1000, *kill)
+		}
+		for _, a := range apps {
+			as, ok := coord.Assignment(a.name)
+			if !ok || as.Orphaned || killed[as.Primary] {
+				continue
+			}
+			if err := step(a); err != nil {
+				return fmt.Errorf("group %s: %w", a.name, err)
+			}
+		}
+		clk.Advance(time.Millisecond)
+		for _, e := range coord.Tick() {
+			fmt.Println(e)
+			if e.G != nil {
+				for _, a := range apps {
+					if a.name == e.Group {
+						if procs := e.G.Procs(); len(procs) == 1 {
+							a.p = procs[0]
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Print(coord.Status())
+	return nil
+}

@@ -86,6 +86,8 @@ func run() error {
 		return cmdTrace(args)
 	case "scenario":
 		return cmdScenario(args)
+	case "fleet":
+		return cmdFleet(args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
@@ -119,7 +121,10 @@ commands:
   scenario run [-seed S] [-stretch N] [-artifacts DIR] [-v] FILE|DIR...
                                     execute declarative chaos scenarios
   scenario validate FILE|DIR...     check scenario files without running
-  scenario list [-json] FILE|DIR... enumerate a scenario corpus`)
+  scenario list [-json] FILE|DIR... enumerate a scenario corpus
+  fleet status [-machines N] [-groups G] [-ticks T] [-kill M]
+                                    run a demo fleet under the placement
+                                    coordinator and print its status`)
 }
 
 // boot loads the machine image, save writes it back.

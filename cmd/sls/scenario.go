@@ -115,12 +115,51 @@ func cmdScenarioValidate(args []string) error {
 	}
 	bad := 0
 	for _, path := range paths {
-		if _, err := scenario.Load(path); err != nil {
+		sc, err := scenario.Load(path)
+		if err != nil {
 			fmt.Printf("INVALID %s\n  %v\n", path, indentErr(err))
 			bad++
 			continue
 		}
 		fmt.Printf("ok      %s\n", path)
+		// Report the effective values of runner defaults, so a scenario
+		// author sees what an unset knob actually runs as.
+		for i := range sc.Workloads {
+			w := &sc.Workloads[i]
+			if w.OpsPerTick <= 0 {
+				fmt.Printf("          workload %s: ops_per_tick=%d (default)\n",
+					workloadLabel(w), w.EffectiveOpsPerTick())
+			}
+		}
+		for i := range sc.Events {
+			e := &sc.Events[i]
+			if e.Kind == scenario.EvMigrate && e.Rounds <= 0 {
+				fmt.Printf("          event t=%dms migrate %s->%s: rounds=%d (default)\n",
+					e.AtMS, e.Group, e.To, e.EffectiveRounds())
+			}
+		}
+		if p := sc.Placement; p != nil {
+			cfg := p.EffectiveConfig()
+			var defs []string
+			if p.SyncEveryMS <= 0 {
+				defs = append(defs, fmt.Sprintf("sync_every_ms=%d", cfg.SyncEvery.Milliseconds()))
+			}
+			if p.HeartbeatEveryMS <= 0 {
+				defs = append(defs, fmt.Sprintf("heartbeat_every_ms=%d", cfg.HeartbeatEvery.Milliseconds()))
+			}
+			if p.DeadAfterMisses <= 0 {
+				defs = append(defs, fmt.Sprintf("dead_after_misses=%d", cfg.DeadAfterMisses))
+			}
+			if p.HotFactor <= 0 {
+				defs = append(defs, fmt.Sprintf("hot_factor=%g", cfg.HotFactor))
+			}
+			if p.MigrateRounds <= 0 {
+				defs = append(defs, fmt.Sprintf("migrate_rounds=%d", cfg.MigrateRounds))
+			}
+			if len(defs) > 0 {
+				fmt.Printf("          placement: %s (default)\n", strings.Join(defs, " "))
+			}
+		}
 	}
 	if bad > 0 {
 		return fmt.Errorf("%d of %d scenarios invalid", bad, len(paths))
@@ -130,6 +169,15 @@ func cmdScenarioValidate(args []string) error {
 
 func indentErr(err error) string {
 	return strings.ReplaceAll(err.Error(), "\n", "\n  ")
+}
+
+// workloadLabel names a workload for validate output: group@machine, or the
+// bare machine for group-less (filebench) workloads.
+func workloadLabel(w *scenario.WorkloadDecl) string {
+	if w.Group != "" {
+		return w.Group + "@" + w.Machine
+	}
+	return w.App + "@" + w.Machine
 }
 
 func cmdScenarioList(args []string) error {

@@ -96,6 +96,7 @@ func main() {
 		{"table7", wrap(experiments.Table7)},
 		{"repl", wrap(experiments.Replication)},
 		{"walwindow", wrap(experiments.WALWindow)},
+		{"fleet", wrap(experiments.Fleet)},
 	}
 	byName := map[string]runner{}
 	for _, r := range all {

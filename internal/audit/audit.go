@@ -142,17 +142,25 @@ func (a *Auditor) auditGroup(r *Report, g *sls.Group, add func(rule, format stri
 	// Kernel rules need the cross-process view: a File's reference count
 	// covers every descriptor table slot holding it, across all processes.
 	r.Rules++
+	// fileSlots is keyed by pointer; iterating the map directly would make
+	// violation order run-dependent when several files trip a rule, so the
+	// report walks files in first-encounter (proc, then fd) order.
 	fileSlots := make(map[*kern.File]int)
+	var fileOrder []*kern.File
 	for _, p := range procs {
 		if p.Exited() {
 			continue
 		}
 		p.FDs.Each(func(fd int, f *kern.File) {
+			if fileSlots[f] == 0 {
+				fileOrder = append(fileOrder, f)
+			}
 			fileSlots[f]++
 			r.Objects++
 		})
 	}
-	for f, slots := range fileSlots {
+	for _, f := range fileOrder {
+		slots := fileSlots[f]
 		if refs := int(f.Refs()); refs < slots {
 			add("kern.fd", "file with %d refs held by %d descriptor slots", refs, slots)
 		}

@@ -1,0 +1,67 @@
+package audit
+
+// Violation-order determinism: the auditor's report feeds scenario
+// fingerprints and the placement coordinator's fail-stop decision log, so
+// when several objects trip a rule the violations must come out in the same
+// order every run. The kernel fd rule aggregates files in a pointer-keyed
+// map; the report must walk them in first-encounter order, not map order.
+
+import (
+	"testing"
+)
+
+// buildLeakyWorld opens several pipes and drops one reference behind the
+// kernel's back on each file — many simultaneous kern.fd violations.
+func buildLeakyWorld(t *testing.T) *world {
+	t.Helper()
+	w := newWorld(t)
+	p := w.k.NewProc("leaky")
+	g := w.o.CreateGroup("leaky")
+	if err := g.Attach(p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		rfd, wfd, err := p.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fd := range []int{rfd, wfd} {
+			f, err := p.FDs.Get(fd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Ref()
+			f.Unref()
+			f.Unref() // refs now one short of the descriptor slots holding it
+		}
+	}
+	return w
+}
+
+func TestViolationOrderDeterministic(t *testing.T) {
+	w := buildLeakyWorld(t)
+	run := func(w *world) string {
+		a := &Auditor{Store: w.store, O: w.o, Clk: w.clk}
+		rep := a.Run()
+		if rep.OK() {
+			t.Fatal("leaky world audits clean")
+		}
+		fd := 0
+		for _, v := range rep.Violations {
+			if v.Rule == "kern.fd" || v.Rule == "kern.pipe" {
+				fd++
+			}
+		}
+		if fd < 2 {
+			t.Fatalf("expected several fd/pipe violations, got %d:\n%s", fd, rep)
+		}
+		return rep.String()
+	}
+	r1 := run(w)
+	if r2 := run(w); r2 != r1 {
+		t.Fatalf("same world, two audit runs, different violation order:\n--- run 1\n%s\n--- run 2\n%s", r1, r2)
+	}
+	if r3 := run(buildLeakyWorld(t)); r3 != r1 {
+		t.Fatalf("identical worlds, different violation order:\n--- world 1\n%s\n--- world 2\n%s", r1, r3)
+	}
+}

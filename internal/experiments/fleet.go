@@ -1,0 +1,294 @@
+package experiments
+
+// Fleet scaling: aggregate checkpoint+op throughput across N machines
+// under the placement coordinator. Aurora's continuous checkpointing is
+// per-machine work — no cross-machine coordination sits on the op path —
+// so a fleet of N machines should deliver close to N times the single
+// machine's throughput. The experiment gives every machine its own
+// virtual clock and advances the fleet in lockstep rounds: each round
+// every group runs its ops and checkpoints on its host's clock, then a
+// barrier advances every clock to the fleet-wide maximum (the slowest
+// machine), exactly how wall-clock time behaves for real parallel
+// hardware. A shared clock would serialize the fleet and show flat
+// scaling — the point of the model is that it does not.
+//
+// The final row is the chaos run: mid-experiment one machine is
+// power-killed; the coordinator's heartbeat detector notices, every group
+// on the dead machine fails over to its warm standby, and the fleet
+// finishes the workload with the survivors auditing clean.
+
+import (
+	"fmt"
+	"time"
+
+	"aurora"
+	"aurora/internal/clock"
+	"aurora/internal/placement"
+	"aurora/internal/vm"
+)
+
+// FleetRow is one fleet configuration's aggregate result.
+type FleetRow struct {
+	Machines    int
+	Groups      int
+	Ops         int64
+	Checkpoints int64
+	Syncs       int64
+	Failovers   int64
+	Rebalances  int64
+	Elapsed     time.Duration
+	OpsPerSec   float64
+	Speedup     float64 // vs the 1-machine row
+	Chaos       bool
+	AuditOK     bool
+}
+
+// FleetResult is the scaling sweep plus the chaos row.
+type FleetResult struct {
+	Rows []FleetRow
+}
+
+// fleetApp is one group's workload state.
+type fleetApp struct {
+	name string
+	g    *aurora.Group
+	p    *aurora.Proc
+	host string
+	ops  int64
+}
+
+// Fleet runs the sweep: clean rows at 1, 2, 4, and 8 machines, then a
+// 4-machine run with a mid-run machine kill.
+func Fleet(scale Scale) (*FleetResult, error) {
+	opsPerRound, rounds := int64(400), 60
+	if scale == Quick {
+		opsPerRound, rounds = 150, 30
+	}
+	res := &FleetResult{}
+	for _, n := range []int{1, 2, 4, 8} {
+		row, err := fleetRun(n, opsPerRound, rounds, false)
+		if err != nil {
+			return nil, fmt.Errorf("fleet n=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	chaos, err := fleetRun(4, opsPerRound, rounds, true)
+	if err != nil {
+		return nil, fmt.Errorf("fleet chaos: %w", err)
+	}
+	res.Rows = append(res.Rows, chaos)
+	if base := res.Rows[0].OpsPerSec; base > 0 {
+		for i := range res.Rows {
+			res.Rows[i].Speedup = res.Rows[i].OpsPerSec / base
+		}
+	}
+	return res, nil
+}
+
+// fleetRun drives one fleet configuration: n machines, one group each.
+func fleetRun(n int, opsPerRound int64, rounds int, chaos bool) (FleetRow, error) {
+	// The coordinator runs on its own fleet clock, advanced with the
+	// barrier; machine clocks are independent — that is the scaling model.
+	fleetClk := clock.NewVirtual()
+	cfg := placement.Config{
+		SyncEvery:      40 * time.Millisecond,
+		HeartbeatEvery: 2 * time.Millisecond,
+	}
+	if chaos {
+		cfg.RebalanceEvery = 25 * time.Millisecond
+		cfg.HotFactor = 1.5
+	}
+	coord := placement.New(fleetClk, cfg)
+
+	var machines []*aurora.Machine
+	var clocks []*clock.Virtual
+	apps := make([]*fleetApp, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := aurora.NewMachine(aurora.Config{StorageBytes: 256 << 20})
+		if err != nil {
+			return FleetRow{}, err
+		}
+		name := fmt.Sprintf("m%d", i)
+		if _, err := coord.AddMachine(name, m); err != nil {
+			return FleetRow{}, err
+		}
+		machines = append(machines, m)
+		clocks = append(clocks, m.Clock)
+	}
+	step := func(a *fleetApp, ops int64, m *aurora.Machine) error {
+		var buf [8]byte
+		for i := int64(0); i < ops; i++ {
+			// Touch a rotating page so checkpoints always have a delta.
+			addr := vm.UserBase + uint64((a.ops%64)*vm.PageSize)
+			if err := a.p.ReadMem(addr, buf[:]); err != nil {
+				return err
+			}
+			buf[0]++
+			if err := a.p.WriteMem(addr, buf[:]); err != nil {
+				return err
+			}
+			m.Clock.Advance(10 * time.Microsecond)
+			a.ops++
+		}
+		coord.RecordOps(a.name, ops)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		m := machines[i]
+		name := fmt.Sprintf("g%d", i)
+		host := fmt.Sprintf("m%d", i)
+		p := m.Spawn(name)
+		if _, err := p.Mmap(64*vm.PageSize, aurora.ProtRead|aurora.ProtWrite, false); err != nil {
+			return FleetRow{}, err
+		}
+		g, err := m.Attach(name, p)
+		if err != nil {
+			return FleetRow{}, err
+		}
+		a := &fleetApp{name: name, g: g, p: p, host: host}
+		apps = append(apps, a)
+		hostM := m
+		// A 1-machine fleet cannot host a standby anywhere; the baseline row
+		// runs unmanaged rather than asking Manage for the impossible.
+		if n > 1 {
+			if _, err := coord.Manage(name, host, func() error { return step(a, 8, hostM) }); err != nil {
+				return FleetRow{}, err
+			}
+		}
+	}
+
+	// Lockstep barrier: every clock (machines + fleet) advances to the
+	// fleet-wide maximum — the slowest machine sets the pace, as real
+	// wall-clock time would.
+	barrier := func() {
+		max := fleetClk.Now()
+		for _, c := range clocks {
+			if c.Now() > max {
+				max = c.Now()
+			}
+		}
+		for _, c := range clocks {
+			c.Advance(max - c.Now())
+		}
+		fleetClk.Advance(max - fleetClk.Now())
+	}
+	rebind := func(evs []placement.Event) {
+		for _, e := range evs {
+			if e.G == nil {
+				continue
+			}
+			for _, a := range apps {
+				if a.name != e.Group {
+					continue
+				}
+				a.g = e.G
+				a.host = e.To
+				if procs := e.G.Procs(); len(procs) == 1 {
+					a.p = procs[0]
+				}
+			}
+		}
+	}
+	machineOf := func(host string) *aurora.Machine {
+		node, _ := coord.Node(host)
+		return node.M
+	}
+
+	barrier()
+	start := fleetClk.Now()
+	killRound := -1
+	if chaos {
+		killRound = rounds * 6 / 10
+	}
+	row := FleetRow{Machines: n, Groups: n, Chaos: chaos, AuditOK: true}
+	down := map[string]bool{}
+	for r := 0; r < rounds; r++ {
+		if r == killRound {
+			down["m1"] = true
+			if err := coord.KillMachine("m1"); err != nil {
+				return FleetRow{}, err
+			}
+		}
+		for _, a := range apps {
+			host := a.host
+			if as, ok := coord.Assignment(a.name); ok {
+				if as.Orphaned || down[as.Primary] {
+					continue
+				}
+				host = as.Primary
+			}
+			m := machineOf(host)
+			if err := step(a, opsPerRound, m); err != nil {
+				return FleetRow{}, fmt.Errorf("group %s: %w", a.name, err)
+			}
+			row.Ops += opsPerRound
+			if _, err := a.g.Checkpoint(aurora.CkptIncremental); err != nil {
+				return FleetRow{}, fmt.Errorf("checkpoint %s: %w", a.name, err)
+			}
+			row.Checkpoints++
+		}
+		barrier()
+		rebind(coord.Tick())
+	}
+	row.Elapsed = fleetClk.Now() - start
+	if row.Elapsed > 0 {
+		row.OpsPerSec = float64(row.Ops) / row.Elapsed.Seconds()
+	}
+	row.Failovers = coord.Failovers()
+	row.Rebalances = coord.Rebalances()
+	for _, a := range apps {
+		as, ok := coord.Assignment(a.name)
+		if !ok {
+			continue
+		}
+		row.Syncs += as.Syncs
+		if chaos {
+			if as.Orphaned {
+				return FleetRow{}, fmt.Errorf("group %s orphaned: standby failover did not cover the kill", a.name)
+			}
+			if down[as.Primary] {
+				return FleetRow{}, fmt.Errorf("group %s still placed on the killed machine", a.name)
+			}
+		}
+	}
+	// Every surviving machine must audit clean — a failover that corrupts
+	// kernel/store invariants is not a failover.
+	for i, m := range machines {
+		if down[fmt.Sprintf("m%d", i)] {
+			continue
+		}
+		if rep := m.Audit(); !rep.OK() {
+			row.AuditOK = false
+		}
+	}
+	return row, nil
+}
+
+// Render prints the scaling table.
+func (r *FleetResult) Render() string {
+	header := []string{"Machines", "Groups", "Ops", "Ckpts", "Syncs", "Failover", "Rebal", "Elapsed", "Ops/s", "Speedup", "Run"}
+	var rows [][]string
+	for _, row := range r.Rows {
+		kind := "clean"
+		if row.Chaos {
+			kind = "chaos(kill m1)"
+			if !row.AuditOK {
+				kind += " AUDIT-DIRTY"
+			}
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", row.Machines),
+			fmt.Sprintf("%d", row.Groups),
+			fmt.Sprintf("%d", row.Ops),
+			fmt.Sprintf("%d", row.Checkpoints),
+			fmt.Sprintf("%d", row.Syncs),
+			fmt.Sprintf("%d", row.Failovers),
+			fmt.Sprintf("%d", row.Rebalances),
+			fmtDur(row.Elapsed),
+			fmt.Sprintf("%.0f", row.OpsPerSec),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			kind,
+		})
+	}
+	return "Fleet scaling: aggregate checkpoint+op throughput under the placement coordinator\n" + table(header, rows)
+}

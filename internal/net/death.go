@@ -1,0 +1,146 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Death detection: the fleet-level "is that machine still there?" question.
+// Aurora's single-machine story never needed it — the paper's standby is
+// driven by the same operator who notices the primary die. A placement
+// coordinator cannot watch a console, so it probes every node on a fixed
+// virtual-clock cadence and declares a node dead after enough consecutive
+// probes go unanswered. Probes travel over a Link with its own fault plan,
+// so a lossy heartbeat wire can produce missed beats (and, if the plan is
+// hostile enough, false suspicion) exactly as deterministically as every
+// other fault in the simulation.
+
+// DetectorConfig sizes the failure detector.
+type DetectorConfig struct {
+	// Misses is how many consecutive unanswered probes declare a peer
+	// dead; 0 selects DefaultDetectorMisses.
+	Misses int
+}
+
+// DefaultDetectorMisses is the consecutive-miss threshold when the config
+// leaves it zero: three strikes.
+const DefaultDetectorMisses = 3
+
+// peerHealth is one peer's probe history.
+type peerHealth struct {
+	misses int // consecutive unanswered probes
+	dead   bool
+	beats  int64 // lifetime answered probes
+	losses int64 // lifetime unanswered probes
+}
+
+// Detector is a deterministic consecutive-miss failure detector. It owns no
+// goroutines and no wall clock: the caller probes on whatever cadence it
+// likes, and verdicts change only at probe instants.
+type Detector struct {
+	cfg   DetectorConfig
+	peers map[string]*peerHealth
+	order []string
+}
+
+// NewDetector builds a detector; zero-value config selects defaults.
+func NewDetector(cfg DetectorConfig) *Detector {
+	if cfg.Misses <= 0 {
+		cfg.Misses = DefaultDetectorMisses
+	}
+	return &Detector{cfg: cfg, peers: make(map[string]*peerHealth)}
+}
+
+func (d *Detector) peer(name string) *peerHealth {
+	p := d.peers[name]
+	if p == nil {
+		p = &peerHealth{}
+		d.peers[name] = p
+		d.order = append(d.order, name)
+	}
+	return p
+}
+
+// Probe sends one heartbeat to a peer and folds the outcome in, returning
+// true when this probe crossed the death threshold (the edge, not the
+// steady state — callers fail over exactly once).
+//
+// The probe is modeled as one frame over link: it must survive the wire
+// (drops and partitions eat it) AND the peer must be responsive. A nil link
+// is a lossless wire, leaving only the peer's own responsiveness.
+func (d *Detector) Probe(name string, link *Link, responsive bool) bool {
+	p := d.peer(name)
+	delivered := true
+	if link != nil {
+		link.Send(hbFrame)
+		_, delivered = link.Recv()
+	}
+	if delivered && responsive {
+		p.beats++
+		p.misses = 0
+		return false
+	}
+	p.losses++
+	p.misses++
+	if !p.dead && p.misses >= d.cfg.Misses {
+		p.dead = true
+		return true
+	}
+	return false
+}
+
+// hbFrame is the one-byte heartbeat payload; content is irrelevant, only
+// delivery matters.
+var hbFrame = []byte{0x48}
+
+// Dead reports whether a peer has been declared dead.
+func (d *Detector) Dead(name string) bool {
+	p := d.peers[name]
+	return p != nil && p.dead
+}
+
+// Misses reports a peer's current consecutive-miss count.
+func (d *Detector) Misses(name string) int {
+	p := d.peers[name]
+	if p == nil {
+		return 0
+	}
+	return p.misses
+}
+
+// Declare marks a peer dead out-of-band — the invariant watchdog's verdict
+// takes this path: an audit violation is fail-stop, no three strikes.
+// Returns true on the edge (the peer was not already dead).
+func (d *Detector) Declare(name string) bool {
+	p := d.peer(name)
+	if p.dead {
+		return false
+	}
+	p.dead = true
+	return true
+}
+
+// Reset forgets a peer's death and miss history — a replacement machine
+// rejoining under the same name.
+func (d *Detector) Reset(name string) {
+	p := d.peer(name)
+	p.dead = false
+	p.misses = 0
+}
+
+// Summary renders per-peer health in name order, for status pages.
+func (d *Detector) Summary() string {
+	names := append([]string(nil), d.order...)
+	sort.Strings(names)
+	out := ""
+	for _, n := range names {
+		p := d.peers[n]
+		state := "alive"
+		if p.dead {
+			state = "DEAD"
+		}
+		out += fmt.Sprintf("%-12s %-5s beats=%d missed=%d consecutive=%d threshold=%d\n",
+			n, state, p.beats, p.losses, p.misses, d.cfg.Misses)
+	}
+	return out
+}

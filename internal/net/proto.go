@@ -249,6 +249,18 @@ func (c *Conn) Take(epoch uint64) ([]byte, bool) {
 	return s.buf.Bytes(), true
 }
 
+// Abort discards the receiver's session for an epoch, complete or not, and
+// reports whether one existed. A failover uses it to drop a half-shipped
+// transfer: once the standby is promoted, the dead primary's partial delta
+// must never be resumable into it.
+func (c *Conn) Abort(epoch uint64) bool {
+	if _, ok := c.sess[epoch]; !ok {
+		return false
+	}
+	delete(c.sess, epoch)
+	return true
+}
+
 // pumpResult is what one drain of both wire directions told the sender.
 type pumpResult struct {
 	ackNext   uint64

@@ -9,6 +9,7 @@ import (
 	"aurora"
 	"aurora/internal/clock"
 	"aurora/internal/net"
+	"aurora/internal/placement"
 )
 
 // RunOptions tune one scenario execution.
@@ -32,6 +33,10 @@ type RunOptions struct {
 type machineState struct {
 	decl MachineDecl
 	m    *aurora.Machine
+	// dead marks a machine-dies event: unlike a power cut there is no
+	// reboot — the machine is gone for the rest of the scenario and the
+	// placement coordinator has to notice on its own.
+	dead bool
 }
 
 // groupState is one workload's live binding.
@@ -77,6 +82,10 @@ type runner struct {
 	groupOrder   []string
 	repls        map[string]*replState
 	replOrder    []string
+
+	// coord is the fleet coordinator, non-nil when the scenario declares a
+	// placement block; it owns every group's standby.
+	coord *placement.Coordinator
 
 	res *Result
 }
@@ -226,6 +235,42 @@ func (r *runner) setup() error {
 		r.repls[rd.Group] = &replState{decl: rd, rep: rep, conn: conn, to: dst, alive: true}
 		r.replOrder = append(r.replOrder, rd.Group)
 	}
+
+	if p := r.sc.Placement; p != nil {
+		cfg := p.EffectiveConfig()
+		if p.HeartbeatDrop > 0 {
+			drop := p.HeartbeatDrop
+			seed := r.seed
+			cfg.HeartbeatPlan = func(node string) net.Plan {
+				return net.Plan{Seed: subseed(seed, "hb/"+node), DropProb: drop}
+			}
+		}
+		r.coord = placement.New(r.clk, cfg)
+		for _, name := range r.machineOrder {
+			if _, err := r.coord.AddMachine(name, r.machines[name].m); err != nil {
+				return fmt.Errorf("placement: %w", err)
+			}
+		}
+		// Manage every group workload: the coordinator picks and seeds the
+		// standby, and drives the app between migration pre-copy rounds.
+		for _, key := range r.groupOrder {
+			gs := r.groups[key]
+			if gs.g == nil {
+				continue // filebench: no consistency group to protect
+			}
+			work := func() error {
+				n := gs.decl.EffectiveOpsPerTick()
+				if err := gs.app.step(n); err != nil {
+					return err
+				}
+				gs.ops += n
+				return nil
+			}
+			if _, err := r.coord.Manage(key, gs.decl.Machine, work); err != nil {
+				return fmt.Errorf("placement: managing %q: %w", key, err)
+			}
+		}
+	}
 	return nil
 }
 
@@ -285,16 +330,16 @@ func (r *runner) drive() {
 			if !gs.alive {
 				continue
 			}
-			n := gs.decl.OpsPerTick
-			if n <= 0 {
-				n = 20
-			}
+			n := gs.decl.EffectiveOpsPerTick()
 			if err := gs.app.step(n); err != nil {
 				r.recordErr("workload %s: %v", key, err)
 				gs.alive = false
 				continue
 			}
 			gs.ops += n
+			if r.coord != nil && gs.g != nil {
+				r.coord.RecordOps(key, n)
+			}
 			if gs.decl.CheckpointEveryMS > 0 && nowMS-gs.lastCkptMS >= gs.decl.CheckpointEveryMS {
 				gs.lastCkptMS = nowMS
 				r.checkpointGroup(key, gs)
@@ -308,6 +353,10 @@ func (r *runner) drive() {
 			}
 			rs.lastSyncMS = nowMS
 			r.syncRepl(name, rs)
+		}
+
+		if r.coord != nil {
+			r.applyFleetEvents(r.coord.Tick())
 		}
 
 		if clk.Now() < target {
@@ -435,6 +484,11 @@ func (r *runner) fire(e EventDecl) {
 		r.fireFailover(e)
 	case EvCheckpoint:
 		r.fireCheckpoint(e)
+	case EvMachineDies:
+		r.fireMachineDies(e)
+	case EvRebalance:
+		r.recordEvent(e, "fleet", nil)
+		r.applyFleetEvents(r.coord.Rebalance())
 	case EvSync:
 		rs := r.repls[e.Group]
 		if !rs.alive {
@@ -474,6 +528,69 @@ func (r *runner) firePowerCut(e EventDecl) {
 		rs := r.repls[name]
 		if rs.decl.From == e.Machine || rs.decl.To == e.Machine {
 			rs.alive = false
+		}
+	}
+}
+
+// fireMachineDies kills a machine for good: its groups stop producing
+// work immediately, but nobody tells the coordinator — the heartbeat
+// detector has to notice the silence and fail the groups over.
+func (r *runner) fireMachineDies(e EventDecl) {
+	ms := r.machines[e.Machine]
+	ms.dead = true
+	err := r.coord.KillMachine(e.Machine)
+	r.recordEvent(e, e.Machine, err)
+	if err != nil {
+		return
+	}
+	for _, key := range r.groupOrder {
+		gs := r.groups[key]
+		if gs.host != ms {
+			continue
+		}
+		gs.alive = false
+		if gs.decl.App != AppFilebench {
+			gs.g = nil
+		}
+	}
+}
+
+// applyFleetEvents records coordinator decisions in the result and
+// rebinds applications whose group moved (failover or rebalance).
+func (r *runner) applyFleetEvents(evs []placement.Event) {
+	for _, e := range evs {
+		target := e.Group
+		if target == "" {
+			target = e.Node
+		}
+		if e.From != "" || e.To != "" {
+			target += " " + e.From + "->" + e.To
+		}
+		ev := ExecutedEvent{
+			AtMS:    int64(e.At / time.Millisecond),
+			FiredNS: int64(e.At),
+			Kind:    "fleet-" + e.Kind.String(),
+			Target:  target,
+		}
+		if e.Err != nil {
+			ev.Err = e.Err.Error()
+		}
+		r.res.Events = append(r.res.Events, ev)
+		r.logf("fleet %s", e)
+		if e.G == nil {
+			continue
+		}
+		gs, ok := r.groups[e.Group]
+		if !ok {
+			continue
+		}
+		gs.g = e.G
+		gs.host = r.machines[e.To]
+		gs.alive = true
+		gs.applyWALOptions()
+		if err := gs.app.rebind(gs); err != nil {
+			r.recordErr("rebind %s after fleet %s: %v", e.Group, e.Kind, err)
+			gs.alive = false
 		}
 	}
 }
@@ -520,19 +637,22 @@ func (r *runner) fireMigrate(e EventDecl) {
 		r.recordEvent(e, e.Group, fmt.Errorf("group is down"))
 		return
 	}
+	if r.coord != nil {
+		// Placement mode: the move goes through the coordinator so its
+		// assignment map stays authoritative (it retires the old replica
+		// and reseeds a standby from the new primary).
+		evs, err := r.coord.MigrateGroup(e.Group, e.To)
+		r.recordEvent(e, e.Group+"->"+e.To, err)
+		r.applyFleetEvents(evs)
+		return
+	}
 	src := gs.host
 	dst := r.machines[e.To]
-	rounds := int(e.Rounds)
-	if rounds <= 0 {
-		rounds = 2
-	}
+	rounds := int(e.EffectiveRounds())
 	work := func() error {
 		// The application keeps running between pre-copy rounds; its dirty
 		// pages become the next round's delta.
-		n := gs.decl.OpsPerTick
-		if n <= 0 {
-			n = 20
-		}
+		n := gs.decl.EffectiveOpsPerTick()
 		if err := gs.app.step(n); err != nil {
 			return err
 		}
@@ -542,7 +662,9 @@ func (r *runner) fireMigrate(e EventDecl) {
 	g2, mst, err := src.m.MigrateTo(dst.m, e.Group, rounds, work)
 	r.recordEvent(e, e.Group+"->"+e.To, err)
 	if err != nil {
-		gs.alive = false
+		// A failed migration leaves the source intact: the stream never
+		// finished, so the group was neither exited nor forgotten there.
+		// It keeps running where it is.
 		return
 	}
 	gs.g = g2
@@ -629,6 +751,12 @@ func (r *runner) finish() {
 		if rs, ok := r.repls[key]; ok && rs.rep != nil {
 			st.StandbyEpoch = int64(rs.rep.Base())
 			st.Syncs = int64(rs.rep.Syncs)
+		}
+		if r.coord != nil {
+			if a, ok := r.coord.Assignment(key); ok {
+				st.StandbyEpoch = a.StandbyEpoch()
+				st.Syncs = a.Syncs
+			}
 		}
 		r.res.Groups = append(r.res.Groups, st)
 	}
@@ -739,6 +867,18 @@ func (r *runner) evaluate(a AssertionDecl) AssertionResult {
 		p99 := p99us(gs.durableWindows)
 		return pass(p99 <= a.MaxUS, "p99 durable window %dus over %d commits (%d via WAL, want <= %dus)",
 			p99, len(gs.durableWindows), gs.walCommits, a.MaxUS)
+	case AssertFleetHealth:
+		if r.coord == nil {
+			return pass(false, "no placement coordinator")
+		}
+		ok := r.coord.Protected() && r.coord.Orphans() == 0
+		return pass(ok, "protected=%v orphans=%d failovers=%d rebalances=%d",
+			r.coord.Protected(), r.coord.Orphans(), r.coord.Failovers(), r.coord.Rebalances())
+	case AssertFailoversAtLeast:
+		if r.coord == nil {
+			return pass(false, "no placement coordinator")
+		}
+		return pass(r.coord.Failovers() >= min, "%d failovers (want >= %d)", r.coord.Failovers(), min)
 	case AssertRestoreUnderUS:
 		gs := r.groups[a.Group]
 		if len(gs.restoreTimes) == 0 {

@@ -24,6 +24,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
+
+	"aurora/internal/placement"
 )
 
 // Expectation values for Scenario.Expect.
@@ -49,8 +52,54 @@ type Scenario struct {
 	Machines     []MachineDecl   `json:"machines"`
 	Workloads    []WorkloadDecl  `json:"workloads,omitempty"`
 	Replications []ReplDecl      `json:"replications,omitempty"`
+	Placement    *PlacementDecl  `json:"placement,omitempty"`
 	Events       []EventDecl     `json:"events,omitempty"`
 	Assertions   []AssertionDecl `json:"assertions"`
+}
+
+// PlacementDecl turns on the fleet coordinator (internal/placement): every
+// group workload is managed — the coordinator picks and seeds its standby,
+// syncs it on a cadence, discovers machine death via heartbeats, fails
+// groups over, and (when rebalance_every_ms is set) sheds hot groups via
+// live migration. A placement scenario declares no `replications` block
+// (the coordinator owns standbys) and kills machines with `machine-dies`
+// rather than `power-cut` (dead machines stay dead; the coordinator must
+// notice on its own). Migrate events route through the coordinator and use
+// migrate_rounds, keeping its view of placement authoritative.
+type PlacementDecl struct {
+	SyncEveryMS      int64   `json:"sync_every_ms,omitempty"`      // default 10
+	HeartbeatEveryMS int64   `json:"heartbeat_every_ms,omitempty"` // default 5
+	DeadAfterMisses  int64   `json:"dead_after_misses,omitempty"`  // default 3
+	AuditEveryMS     int64   `json:"audit_every_ms,omitempty"`     // watchdog audits; 0 disables
+	RebalanceEveryMS int64   `json:"rebalance_every_ms,omitempty"` // hot-group scan; 0 disables
+	HotFactor        float64 `json:"hot_factor,omitempty"`         // default 2.0
+	MigrateRounds    int64   `json:"migrate_rounds,omitempty"`     // default 2
+	// HeartbeatDrop makes every heartbeat wire lossy: the detector must
+	// distinguish a lossy link from a dead machine.
+	HeartbeatDrop float64 `json:"heartbeat_drop,omitempty"`
+}
+
+// EffectiveConfig resolves the declared knobs into the coordinator config
+// the runner builds — unset cadences get the runner defaults, everything
+// else gets placement's own. The runner layers HeartbeatPlan (which needs
+// the run seed) on top; validate prints from this so the reported
+// effective values cannot drift from what a run uses.
+func (p *PlacementDecl) EffectiveConfig() placement.Config {
+	ms := func(v, def int64) time.Duration {
+		if v <= 0 {
+			v = def
+		}
+		return time.Duration(v) * time.Millisecond
+	}
+	return placement.Config{
+		SyncEvery:       ms(p.SyncEveryMS, 10),
+		HeartbeatEvery:  ms(p.HeartbeatEveryMS, 5),
+		DeadAfterMisses: int(p.DeadAfterMisses),
+		AuditEvery:      time.Duration(p.AuditEveryMS) * time.Millisecond,
+		RebalanceEvery:  time.Duration(p.RebalanceEveryMS) * time.Millisecond,
+		HotFactor:       p.HotFactor,
+		MigrateRounds:   int(p.MigrateRounds),
+	}.Filled()
 }
 
 // MachineDecl sizes one fleet member. Every scenario machine carries a
@@ -128,11 +177,34 @@ const (
 	EvFailover   = "failover"   // group: restore on the standby
 	EvCheckpoint = "checkpoint" // group (or whole machine store)
 	EvSync       = "sync"       // group: one replication sync now
+	// Placement-mode kinds.
+	EvMachineDies = "machine-dies" // machine: permanent death the coordinator must discover
+	EvRebalance   = "rebalance"    // fleet: force a hot-group rebalance scan now
 )
 
-var eventKinds = []string{EvPowerCut, EvRestore, EvPartition, EvBitRot, EvMigrate, EvFailover, EvCheckpoint, EvSync}
+var eventKinds = []string{EvPowerCut, EvRestore, EvPartition, EvBitRot, EvMigrate, EvFailover, EvCheckpoint, EvSync, EvMachineDies, EvRebalance}
 
 // EventDecl is one timed event on the shared virtual clock.
+// Runner fallback defaults, hoisted to the schema layer so `scenario
+// validate` reports the effective values and the runner has one source of
+// truth instead of inline magic numbers.
+const (
+	// DefaultOpsPerTick drives workloads that leave ops_per_tick unset.
+	DefaultOpsPerTick int64 = 20
+	// DefaultMigrateRounds is the pre-copy round count when a migrate
+	// event (or placement rebalance) leaves rounds unset.
+	DefaultMigrateRounds int64 = 2
+)
+
+// EffectiveOpsPerTick resolves the declared per-tick op rate or the schema
+// default.
+func (w *WorkloadDecl) EffectiveOpsPerTick() int64 {
+	if w.OpsPerTick > 0 {
+		return w.OpsPerTick
+	}
+	return DefaultOpsPerTick
+}
+
 type EventDecl struct {
 	AtMS int64  `json:"at_ms"`
 	Kind string `json:"kind"`
@@ -156,6 +228,15 @@ type EventDecl struct {
 	Rounds int64  `json:"rounds,omitempty"`
 }
 
+// EffectiveRounds resolves a migrate event's declared pre-copy rounds or
+// the schema default.
+func (e *EventDecl) EffectiveRounds() int64 {
+	if e.Rounds > 0 {
+		return e.Rounds
+	}
+	return DefaultMigrateRounds
+}
+
 // Assertion kinds.
 const (
 	AssertAuditClean      = "audit-clean"          // machine: invariant watchdog finds nothing
@@ -172,13 +253,18 @@ const (
 	// group: p99 durable window (checkpoint start to frame durable) <= max
 	// µs — the proof WAL-first commit keeps the loss window tiny.
 	AssertDurableWindowUnderUS = "durable-window-under-us"
+	// fleet (placement mode): no group orphaned and every surviving group
+	// has a live standby — the invariant a machine kill must not break.
+	AssertFleetHealth = "fleet-health"
+	// fleet (placement mode): the coordinator performed >= min failovers.
+	AssertFailoversAtLeast = "failovers-at-least"
 )
 
 var assertionKinds = []string{
 	AssertAuditClean, AssertFsckClean, AssertFsckProblems, AssertFlightContains,
 	AssertStandbyMinEpoch, AssertSyncsAtLeast, AssertOpsAtLeast, AssertCkptsAtLeast,
 	AssertGroupOn, AssertP99StopUnderUS, AssertRestoreUnderUS,
-	AssertDurableWindowUnderUS,
+	AssertDurableWindowUnderUS, AssertFleetHealth, AssertFailoversAtLeast,
 }
 
 // AssertionDecl is one end-of-run check.
@@ -301,6 +387,25 @@ func (s *Scenario) Validate() error {
 		}
 	}
 
+	if p := s.Placement; p != nil {
+		if len(s.Machines) < 2 {
+			bad("placement: needs at least two machines (a standby must live somewhere else)")
+		}
+		if len(s.Replications) > 0 {
+			bad("placement: declares standbys itself; remove the replications block")
+		}
+		if p.SyncEveryMS < 0 || p.HeartbeatEveryMS < 0 || p.DeadAfterMisses < 0 ||
+			p.AuditEveryMS < 0 || p.RebalanceEveryMS < 0 || p.MigrateRounds < 0 {
+			bad("placement: cadences and counts must not be negative")
+		}
+		if p.HotFactor < 0 {
+			bad("placement.hot_factor: must not be negative, got %g", p.HotFactor)
+		}
+		if p.HeartbeatDrop < 0 || p.HeartbeatDrop >= 1 {
+			bad("placement.heartbeat_drop: probability must be in [0,1), got %g", p.HeartbeatDrop)
+		}
+	}
+
 	repls := map[string]bool{}
 	for i, r := range s.Replications {
 		at := fmt.Sprintf("replications[%d]", i)
@@ -349,12 +454,18 @@ func (s *Scenario) Validate() error {
 			if !machines[e.Machine] {
 				bad("%s.machine: no machine %q", at, e.Machine)
 			}
+			if s.Placement != nil {
+				bad("%s: power-cut bypasses the coordinator; placement scenarios kill machines with %q", at, EvMachineDies)
+			}
 		case EvRestore:
 			if !machines[e.Machine] {
 				bad("%s.machine: no machine %q", at, e.Machine)
 			}
 			if _, ok := groups[e.Group]; !ok {
 				bad("%s.group: no workload declares group %q", at, e.Group)
+			}
+			if s.Placement != nil {
+				bad("%s: placement scenarios recover through coordinator failover, not explicit restore", at)
 			}
 		case EvPartition:
 			if !repls[e.Group] {
@@ -402,6 +513,17 @@ func (s *Scenario) Validate() error {
 			if !repls[e.Group] {
 				bad("%s.group: no replication declared for group %q", at, e.Group)
 			}
+		case EvMachineDies:
+			if s.Placement == nil {
+				bad("%s: machine-dies needs a placement block (the coordinator discovers the death)", at)
+			}
+			if !machines[e.Machine] {
+				bad("%s.machine: no machine %q", at, e.Machine)
+			}
+		case EvRebalance:
+			if s.Placement == nil {
+				bad("%s: rebalance needs a placement block", at)
+			}
 		case "":
 			bad("%s.kind: required", at)
 		default:
@@ -447,6 +569,10 @@ func (s *Scenario) Validate() error {
 			needGroup()
 			if a.MaxUS <= 0 {
 				bad("%s.max_us: needs a positive bound", at)
+			}
+		case AssertFleetHealth, AssertFailoversAtLeast:
+			if s.Placement == nil {
+				bad("%s: %s needs a placement block", at, a.Kind)
 			}
 		case "":
 			bad("%s.kind: required", at)
@@ -666,6 +792,26 @@ func (d *decoder) scenario(raw map[string]any) *Scenario {
 		}
 		d.noExtra(o, path)
 		sc.Replications = append(sc.Replications, rd)
+	}
+	if v, ok := m["placement"]; ok {
+		delete(m, "placement")
+		obj, isObj := v.(map[string]any)
+		if !isObj {
+			d.fail("scenario.placement", "want an object, got %s", typeName(v))
+		} else {
+			pd := &PlacementDecl{
+				SyncEveryMS:      d.i64(obj, "placement", "sync_every_ms"),
+				HeartbeatEveryMS: d.i64(obj, "placement", "heartbeat_every_ms"),
+				DeadAfterMisses:  d.i64(obj, "placement", "dead_after_misses"),
+				AuditEveryMS:     d.i64(obj, "placement", "audit_every_ms"),
+				RebalanceEveryMS: d.i64(obj, "placement", "rebalance_every_ms"),
+				HotFactor:        d.f64(obj, "placement", "hot_factor"),
+				MigrateRounds:    d.i64(obj, "placement", "migrate_rounds"),
+				HeartbeatDrop:    d.f64(obj, "placement", "heartbeat_drop"),
+			}
+			d.noExtra(obj, "placement")
+			sc.Placement = pd
+		}
 	}
 	for i, o := range d.objects(m, "scenario", "events") {
 		path := fmt.Sprintf("events[%d]", i)

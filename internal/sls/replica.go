@@ -36,6 +36,10 @@ type Replica struct {
 	// the next Sync) completes it from the receiver's high-water mark.
 	pending *pendingShip
 
+	// failedOver retires the replica once its standby has been promoted;
+	// every later Sync/Resume/Failover returns ErrFailedOver.
+	failedOver bool
+
 	Syncs      int
 	BytesTotal int64 // stream bytes applied to the standby
 	LastBytes  int64
@@ -92,6 +96,9 @@ func (g *Group) ReplicateToVia(dst *Orchestrator, conn *net.Conn) (*Replica, err
 // interrupted ship is completed first — its epoch must land before any
 // later delta can apply.
 func (r *Replica) Sync() error {
+	if r.failedOver {
+		return ErrFailedOver
+	}
 	if err := r.Resume(); err != nil {
 		return err
 	}
@@ -108,6 +115,9 @@ func (r *Replica) Sync() error {
 // Resume completes a ship interrupted by retry exhaustion, re-sending only
 // the frames the standby has not acked. No-op when nothing is pending.
 func (r *Replica) Resume() error {
+	if r.failedOver {
+		return ErrFailedOver
+	}
 	if r.pending == nil {
 		return nil
 	}
@@ -131,6 +141,24 @@ func (r *Replica) Resume() error {
 
 // Pending reports whether an interrupted ship awaits Resume.
 func (r *Replica) Pending() bool { return r.pending != nil }
+
+// Abandon retires the handle without promoting the standby: any pending
+// ship is dropped and its receiver session discarded, and every later
+// Sync/Resume/Failover returns ErrFailedOver. A coordinator calls this
+// when the primary moves (live migration) — the handle's source group no
+// longer exists, so shipping through it would replicate a corpse.
+func (r *Replica) Abandon() {
+	if r.pending != nil {
+		if r.conn != nil {
+			r.conn.Abort(r.pending.epoch)
+		}
+		r.pending = nil
+	}
+	r.failedOver = true
+}
+
+// FailedOver reports whether the standby has been promoted.
+func (r *Replica) FailedOver() bool { return r.failedOver }
 
 // Base returns the last checkpoint epoch the standby holds — the "caught
 // up to epoch N" a failover scenario asserts before pulling the plug.
@@ -216,11 +244,39 @@ func (r *Replica) traceSpan(name string, args ...trace.Arg) trace.Span {
 	return r.g.o.Tracer.Begin(trace.TrackSLS, name, args...)
 }
 
+// ErrFailedOver reports an operation on a replica whose standby has already
+// been promoted: the replication relationship is over, and any further
+// Sync/Resume/Failover would write the dead primary's state into a live
+// machine.
+var ErrFailedOver = fmt.Errorf("sls: replica already failed over")
+
 // Failover restores the application on the standby from the last synced
 // state — the primary is presumed dead (its state is not touched).
+//
+// A ship pending at failover time never committed on the standby: its
+// applied frames sit in the receiver's session buffer, not the store, so the
+// restore source is already exactly the last committed base. What must NOT
+// survive is the session itself — a later Resume would complete the transfer
+// and apply the dead primary's delta over the promoted standby's live state.
+// Failover therefore drops the pending ship on both ends and retires the
+// replica: subsequent Sync/Resume/Failover return ErrFailedOver.
 func (r *Replica) Failover(mode RestoreMode) (*Group, RestoreStats, error) {
+	if r.failedOver {
+		return nil, RestoreStats{}, ErrFailedOver
+	}
 	if r.Syncs == 0 {
 		return nil, RestoreStats{}, fmt.Errorf("sls: replica never seeded")
 	}
-	return r.dst.RestoreGroup(r.g.Name, r.dst.Store, mode, true)
+	if r.pending != nil {
+		if r.conn != nil {
+			r.conn.Abort(r.pending.epoch)
+		}
+		r.pending = nil
+	}
+	g, st, err := r.dst.RestoreGroup(r.g.Name, r.dst.Store, mode, true)
+	if err != nil {
+		return nil, st, err
+	}
+	r.failedOver = true
+	return g, st, nil
 }

@@ -99,9 +99,8 @@ var _ vm.SparsePager = (*storePager)(nil)
 // continuing is true (restoring the live store's latest state), the group
 // keeps flushing incrementally into the same objects; otherwise (a
 // historical view) the next checkpoint performs a full reflush.
-func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, continuing bool) (*Group, RestoreStats, error) {
+func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, continuing bool) (retG *Group, st RestoreStats, retErr error) {
 	sw := clock.StartStopwatch(o.Clk)
-	var st RestoreStats
 	st.Lazy = mode == RestoreLazy
 	restSpan := o.Tracer.Begin(trace.TrackSLS, "restore",
 		trace.S("group", name), trace.I("lazy", boolInt(st.Lazy)))
@@ -126,6 +125,26 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 	g := o.CreateGroup(name)
 	g.oid = groupOID
 	r := &restorer{o: o, g: g, src: src, mode: mode, st: &st}
+	// A restore that dies partway — corrupt record, or the standby itself
+	// power-cut mid-restore — must not leave the half-built group
+	// registered: GroupByName would keep resolving the wedged husk, and a
+	// retry would stack a second group under the same name. Tear down what
+	// was built and unregister, so the caller can simply restore again.
+	defer func() {
+		if retErr == nil {
+			return
+		}
+		for _, p := range g.Procs() {
+			p.Exit(0)
+		}
+		for _, m := range r.memMetas {
+			if obj, ok := r.memObjs[m.oid]; ok && !r.memUsed[m.oid] {
+				obj.Deref() // creator reference nobody consumed
+			}
+		}
+		o.Forget(g)
+		retG = nil
+	}()
 
 	gname := d.Str()
 	_ = gname
