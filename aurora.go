@@ -109,8 +109,9 @@ const (
 	CkptMemOnly     = sls.CkptMemOnly
 	CkptWAL         = sls.CkptWAL
 
-	RestoreEager = sls.RestoreFull
-	RestoreLazy  = sls.RestoreLazy
+	RestoreEager       = sls.RestoreFull
+	RestoreLazy        = sls.RestoreLazy
+	RestoreSpeculative = sls.RestoreSpeculative
 
 	SIGCHLD    = kern.SIGCHLD
 	SIGRESTORE = kern.SIGRESTORE
@@ -496,6 +497,33 @@ func (m *Machine) Restore(group string) (*Group, RestoreStats, error) {
 // RestoreLazily is Restore with on-demand page loading.
 func (m *Machine) RestoreLazily(group string) (*Group, RestoreStats, error) {
 	return m.restoreChecked(group, RestoreLazy)
+}
+
+// RestoreSpeculatively restores the named group with validated
+// speculation: metadata rebuilds first (the stats' TimeToFirstOp is the
+// span until the group could execute), then the validator sweep confirms
+// the whole image, rolling back to a serial restore on any mismatch. The
+// returned group is the live one — the speculative group when validation
+// succeeded, its serial replacement after a rollback (Rollbacks=1 in the
+// stats). The invariant auditor runs after the state machine settles,
+// exactly like every other restore path.
+func (m *Machine) RestoreSpeculatively(group string) (*Group, RestoreStats, error) {
+	g, st, err := m.SLS.RestoreGroup(group, m.Store, RestoreSpeculative, true)
+	if err != nil {
+		return g, st, err
+	}
+	g2, fin, err := m.SLS.FinishSpeculation(g)
+	if err != nil {
+		return g2, st, err
+	}
+	st.PagesSpeculated = fin.PagesSpeculated
+	st.PagesValidated = fin.PagesValidated
+	st.Rollbacks = fin.Rollbacks
+	st.Time += fin.Time
+	if rep := m.Audit(); !rep.OK() {
+		return g2, st, fmt.Errorf("aurora: post-restore self-check failed: %s", rep)
+	}
+	return g2, st, nil
 }
 
 func (m *Machine) restoreChecked(group string, mode sls.RestoreMode) (*Group, RestoreStats, error) {

@@ -101,6 +101,8 @@ commands:
   attach -name N [-steps K]         run the demo app under persistence
   checkpoint -name N                take a named checkpoint
   restore -name N [-steps K]        restore the app and continue it
+          [-speculative]            run before validation; pages are
+                                    confirmed against the image behind it
   suspend -name N                   suspend the app into the store
   ps                                list persisted applications
   history                           list restorable checkpoint epochs
@@ -253,6 +255,7 @@ func cmdRestore(img string, args []string) error {
 	fs := flag.NewFlagSet("restore", flag.ExitOnError)
 	name := fs.String("name", "demo", "application name")
 	steps := fs.Int("steps", 200, "demo app steps to continue")
+	speculative := fs.Bool("speculative", false, "speculative restore: run immediately, validate pages in the background")
 	fs.Parse(args)
 
 	m, err := boot(img)
@@ -270,7 +273,11 @@ func cmdRestore(img string, args []string) error {
 			fmt.Printf("  %s\n", ev)
 		}
 	}
-	g, rst, err := m.Restore(*name)
+	restore := m.Restore
+	if *speculative {
+		restore = m.RestoreSpeculatively
+	}
+	g, rst, err := restore(*name)
 	if err != nil {
 		return err
 	}
@@ -291,6 +298,10 @@ func cmdRestore(img string, args []string) error {
 	}
 	fmt.Printf("%s restored in %v (%d procs): counter %d -> %d\n",
 		*name, rst.Time, rst.Procs, before, after)
+	if *speculative {
+		fmt.Printf("  speculative: first op after %v, %d page(s) speculated, %d validated, %d rollback(s)\n",
+			rst.TimeToFirstOp, rst.PagesSpeculated, rst.PagesValidated, rst.Rollbacks)
+	}
 	return save(m, img)
 }
 

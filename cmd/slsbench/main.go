@@ -6,7 +6,8 @@
 //	slsbench table5 fig4         # a subset
 //
 // Experiments: table1, fig3a, fig3b, fig3c, fig3d, table4, table5, table6,
-// fig4, fig5, fig6, table7, repl (replication lag under lossy wires).
+// fig4, fig5, fig6, table7, repl (replication lag under lossy wires),
+// walwindow, fleet, restore (serial vs speculative time to first request).
 //
 // With -trace FILE, a checkpoint+crash+lazy-restore scenario runs under the
 // virtual-clock tracer and its timeline is written to FILE as Chrome
@@ -97,6 +98,7 @@ func main() {
 		{"repl", wrap(experiments.Replication)},
 		{"walwindow", wrap(experiments.WALWindow)},
 		{"fleet", wrap(experiments.Fleet)},
+		{"restore", wrap(experiments.RestoreBench)},
 	}
 	byName := map[string]runner{}
 	for _, r := range all {

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"aurora/internal/apps/memcached"
+	"aurora/internal/sls"
+	"aurora/internal/workload"
+)
+
+// RestoreGroupCounts is the fan-out sweep: one memcached group, then the
+// multi-tenant shapes where the speculative validator's worker pool earns
+// its keep.
+var RestoreGroupCounts = []int{1, 4, 8}
+
+// RestorePoint is one row of the serial-vs-speculative comparison. "First
+// request" is the virtual span from the reboot to a single-item read
+// completing: under RestoreFull that is the whole eager page load plus the
+// (resident) read; under RestoreSpeculative it is the metadata rebuild —
+// the group executes while the validator still owns the background — plus
+// the same read once validation has settled the page.
+type RestorePoint struct {
+	Groups         int
+	SerialFirstReq time.Duration
+	SpecFirstReq   time.Duration
+	SpecSettle     time.Duration // full speculative restore incl. validation
+	PagesValidated int64
+	Rollbacks      int
+}
+
+// RestoreResult is the sweep.
+type RestoreResult struct {
+	Points []RestorePoint
+}
+
+// Render prints the comparison table.
+func (r RestoreResult) Render() string {
+	var rows [][]string
+	for _, p := range r.Points {
+		speedup := float64(p.SerialFirstReq) / float64(p.SpecFirstReq)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Groups),
+			fmtDur(p.SerialFirstReq),
+			fmtDur(p.SpecFirstReq),
+			fmtDur(p.SpecSettle),
+			fmt.Sprintf("%.0fx", speedup),
+			fmt.Sprintf("%d", p.PagesValidated),
+			fmt.Sprintf("%d", p.Rollbacks),
+		})
+	}
+	return "Restore: time to first request, serial vs speculative (memcached)\n" +
+		table([]string{"Groups", "Serial", "Speculative", "Spec settle", "Speedup", "Validated", "Rollbacks"}, rows)
+}
+
+// RestoreBench builds N memcached groups, checkpoints them, power-cuts the
+// machine, and restores the image both ways from identical crash states
+// (object-store recovery is read-only, so each restore gets its own reboot
+// of the same device). The paper's restore claim is about availability:
+// the speculative path must put the first request on the wire well before
+// the serial path has finished loading pages.
+func RestoreBench(scale Scale) (RestoreResult, error) {
+	var out RestoreResult
+	for _, n := range RestoreGroupCounts {
+		pt, err := restorePoint(scale, n)
+		if err != nil {
+			return out, fmt.Errorf("restore %d groups: %w", n, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+func restorePoint(scale Scale, groups int) (RestorePoint, error) {
+	pt := RestorePoint{Groups: groups}
+	itemsPer := 20000
+	if scale == Quick {
+		itemsPer = 2000
+	}
+
+	w, err := NewWorld(16 << 30)
+	if err != nil {
+		return pt, err
+	}
+	names := make([]string, groups)
+	arenas := make([]uint64, groups)
+	for i := 0; i < groups; i++ {
+		names[i] = fmt.Sprintf("mc%d", i)
+		s, err := memcached.New(w.K, itemsPer)
+		if err != nil {
+			return pt, err
+		}
+		arenas[i], _ = s.Arena()
+		g := w.O.CreateGroup(names[i])
+		if err := g.Attach(s.Proc); err != nil {
+			return pt, err
+		}
+		for _, op := range workload.Fill(itemsPer, names[i], 300) {
+			if err := s.Apply(op); err != nil {
+				return pt, err
+			}
+		}
+		if _, err := g.Checkpoint(sls.CkptFull); err != nil {
+			return pt, err
+		}
+		if err := g.Barrier(); err != nil {
+			return pt, err
+		}
+	}
+
+	// firstItem reads one slot out of every group — the stand-in for the
+	// first client request each tenant serves after the reboot.
+	firstItem := func(w *World, gs []*sls.Group) ([][]byte, error) {
+		reads := make([][]byte, len(gs))
+		for i, g := range gs {
+			buf := make([]byte, memcached.SlotSize)
+			if err := g.Procs()[0].ReadMem(arenas[i], buf); err != nil {
+				return nil, err
+			}
+			reads[i] = buf
+		}
+		return reads, nil
+	}
+
+	// Serial: eager pages, then the read.
+	wSer, err := w.Crash()
+	if err != nil {
+		return pt, err
+	}
+	t0 := wSer.Clk.Now()
+	gsSer, _, err := wSer.O.RestoreGroups(names, wSer.Store, sls.RestoreFull, true)
+	if err != nil {
+		return pt, err
+	}
+	serReads, err := firstItem(wSer, gsSer)
+	if err != nil {
+		return pt, err
+	}
+	pt.SerialFirstReq = wSer.Clk.Now() - t0
+
+	// Speculative: RestoreGroups rebuilds metadata serially, then fans the
+	// validation out; TimeToFirstOp is the span the mode exists to shrink.
+	wSpec, err := w.Crash()
+	if err != nil {
+		return pt, err
+	}
+	t0 = wSpec.Clk.Now()
+	gsSpec, sts, err := wSpec.O.RestoreGroups(names, wSpec.Store, sls.RestoreSpeculative, true)
+	if err != nil {
+		return pt, err
+	}
+	pt.SpecSettle = wSpec.Clk.Now() - t0
+	var ttfo time.Duration
+	for _, st := range sts {
+		// Metadata rebuilds run back-to-back, so the last group's first
+		// instruction waits out every predecessor's rebuild.
+		ttfo += st.TimeToFirstOp
+		pt.PagesValidated += st.PagesValidated
+		pt.Rollbacks += st.Rollbacks
+	}
+	before := wSpec.Clk.Now()
+	specReads, err := firstItem(wSpec, gsSpec)
+	if err != nil {
+		return pt, err
+	}
+	pt.SpecFirstReq = ttfo + (wSpec.Clk.Now() - before)
+
+	for i := range serReads {
+		if !bytes.Equal(serReads[i], specReads[i]) {
+			return pt, fmt.Errorf("group %s: serial and speculative restores disagree on the first item", names[i])
+		}
+	}
+	if pt.Rollbacks != 0 {
+		return pt, fmt.Errorf("clean image rolled back %d time(s)", pt.Rollbacks)
+	}
+	return pt, nil
+}

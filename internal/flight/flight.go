@@ -55,6 +55,8 @@ const (
 	EvWALAppend                       // A=base epoch, B=frame seq (recorded pre-encode, C unused)
 	EvWALFold                         // A=epoch the fold commits, B=frames folded
 	EvWALGC                           // A=bytes reclaimed, B=generation retired
+	EvSpecValidated                   // A=group OID, B=pages validated, C=pages speculated
+	EvSpecRollback                    // A=group OID, B=object OID of the mismatch, C=page index
 )
 
 // String names the kind for timelines.
@@ -94,6 +96,10 @@ func (k Kind) String() string {
 		return "wal.fold"
 	case EvWALGC:
 		return "wal.gc"
+	case EvSpecValidated:
+		return "restore.validated"
+	case EvSpecRollback:
+		return "restore.rollback"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

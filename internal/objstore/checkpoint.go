@@ -563,6 +563,18 @@ func (v *View) HasPage(oid OID, pg int64) (bool, error) {
 	return v.s.hasPageLocked(o, pg)
 }
 
+// PageSum returns the committed CRC32 of oid's page pg at the view's
+// epoch (see Store.PageSum). ok is false for holes and inline objects.
+func (v *View) PageSum(oid OID, pg int64) (uint32, bool, error) {
+	o, ok := v.objects[oid]
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %d", ErrNoObject, oid)
+	}
+	v.s.mu.Lock()
+	defer v.s.mu.Unlock()
+	return v.s.pageSumLocked(o, pg)
+}
+
 // ReadPage reads one page of oid at the view's epoch.
 func (v *View) ReadPage(oid OID, pg int64, buf []byte) (bool, error) {
 	o, ok := v.objects[oid]

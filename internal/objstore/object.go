@@ -274,6 +274,40 @@ func (s *Store) hasPageLocked(o *object, pg int64) (bool, error) {
 	return c != nil && c.addrs[pg%ChunkFanout] != 0, nil
 }
 
+// PageSum returns the CRC32 recorded when oid's page pg was committed —
+// the validator's ground truth for speculative restore: a speculated page
+// is confirmed by hashing what the group faulted in and comparing against
+// this sum, without trusting (or re-reading) the data path that produced
+// it. ok is false for holes and for inline objects, which carry no
+// per-page sums; those pages are validated by content instead.
+func (s *Store) PageSum(oid OID, pg int64) (sum uint32, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o, err := s.lookup(oid)
+	if err != nil {
+		return 0, false, err
+	}
+	return s.pageSumLocked(o, pg)
+}
+
+// pageSumLocked requires mu.
+func (s *Store) pageSumLocked(o *object, pg int64) (uint32, bool, error) {
+	if o.journal != nil {
+		return 0, false, ErrIsJournal
+	}
+	if o.chunks == nil {
+		return 0, false, nil
+	}
+	c, err := s.loadChunk(o, pg, false)
+	if err != nil {
+		return 0, false, err
+	}
+	if c == nil || c.addrs[pg%ChunkFanout] == 0 {
+		return 0, false, nil
+	}
+	return c.sums[pg%ChunkFanout], true, nil
+}
+
 // WriteAt writes a byte range, performing read-modify-write at page edges.
 func (s *Store) WriteAt(oid OID, off int64, data []byte) error {
 	s.mu.Lock()

@@ -59,7 +59,10 @@ type GroupStat struct {
 	// rather than full epochs (wal_commit workloads).
 	WALCommits int64 `json:"wal_commits,omitempty"`
 	Restores   int64 `json:"restores"`
-	P99StopUS  int64 `json:"p99_stop_us"`
+	// Rollbacks counts speculative restores that failed validation and
+	// fell back to serial.
+	Rollbacks int64 `json:"rollbacks,omitempty"`
+	P99StopUS int64 `json:"p99_stop_us"`
 	// P99DurableUS is the p99 of per-checkpoint durable windows — the
 	// virtual span from checkpoint start to the commit landing on media.
 	P99DurableUS int64 `json:"p99_durable_us,omitempty"`
@@ -84,15 +87,15 @@ func (r *Result) Fingerprint() string {
 	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
 	w("scenario=%s seed=%d expect=%s elapsed=%d\n", r.Scenario, r.Seed, r.Expect, r.ElapsedNS)
 	for _, a := range r.Assertions {
-		w("assert %s m=%s g=%s ev=%s min=%d max=%d pass=%v detail=%s\n",
-			a.Decl.Kind, a.Decl.Machine, a.Decl.Group, a.Decl.Event, a.Decl.Min, a.Decl.MaxUS, a.Pass, a.Detail)
+		w("assert %s m=%s g=%s ev=%s min=%d maxus=%d max=%d pass=%v detail=%s\n",
+			a.Decl.Kind, a.Decl.Machine, a.Decl.Group, a.Decl.Event, a.Decl.Min, a.Decl.MaxUS, a.Decl.Max, a.Pass, a.Detail)
 	}
 	for _, e := range r.Events {
 		w("event %d %d %s %s err=%s\n", e.AtMS, e.FiredNS, e.Kind, e.Target, e.Err)
 	}
 	for _, g := range r.Groups {
-		w("group %s on=%s alive=%v ops=%d ckpts=%d wal=%d restores=%d p99=%d durable=%d epoch=%d syncs=%d\n",
-			g.Group, g.Machine, g.Alive, g.Ops, g.Checkpoints, g.WALCommits, g.Restores, g.P99StopUS, g.P99DurableUS, g.StandbyEpoch, g.Syncs)
+		w("group %s on=%s alive=%v ops=%d ckpts=%d wal=%d restores=%d rollbacks=%d p99=%d durable=%d epoch=%d syncs=%d\n",
+			g.Group, g.Machine, g.Alive, g.Ops, g.Checkpoints, g.WALCommits, g.Restores, g.Rollbacks, g.P99StopUS, g.P99DurableUS, g.StandbyEpoch, g.Syncs)
 	}
 	for _, f := range r.Flights {
 		w("flight %s\n%s", f.Machine, f.Timeline)

@@ -226,6 +226,12 @@ type EventDecl struct {
 	// migrate destination and pre-copy rounds.
 	To     string `json:"to,omitempty"`
 	Rounds int64  `json:"rounds,omitempty"`
+
+	// restore mode: "serial" (eager, the default), "lazy", or
+	// "speculative" — the validated-speculation path, where the group
+	// executes immediately and a background validator confirms every
+	// page, rolling back to a serial restore on mismatch.
+	RestoreMode string `json:"restore_mode,omitempty"`
 }
 
 // EffectiveRounds resolves a migrate event's declared pre-copy rounds or
@@ -258,6 +264,9 @@ const (
 	AssertFleetHealth = "fleet-health"
 	// fleet (placement mode): the coordinator performed >= min failovers.
 	AssertFailoversAtLeast = "failovers-at-least"
+	// group: speculation rollbacks across the run <= max (default 0 — a
+	// clean image must validate without ever falling back to serial).
+	AssertRollbacksAtMost = "rollbacks-at-most"
 )
 
 var assertionKinds = []string{
@@ -265,6 +274,7 @@ var assertionKinds = []string{
 	AssertStandbyMinEpoch, AssertSyncsAtLeast, AssertOpsAtLeast, AssertCkptsAtLeast,
 	AssertGroupOn, AssertP99StopUnderUS, AssertRestoreUnderUS,
 	AssertDurableWindowUnderUS, AssertFleetHealth, AssertFailoversAtLeast,
+	AssertRollbacksAtMost,
 }
 
 // AssertionDecl is one end-of-run check.
@@ -275,6 +285,9 @@ type AssertionDecl struct {
 	Event   string `json:"event,omitempty"` // flight-contains: flight kind name, e.g. "power.cut"
 	Min     int64  `json:"min,omitempty"`   // thresholds (counts, epochs); default 1
 	MaxUS   int64  `json:"max_us,omitempty"`
+	// Max is the at-most bound (rollbacks-at-most); unlike Min it does
+	// not default — 0 means none allowed.
+	Max int64 `json:"max,omitempty"`
 }
 
 // Parse decodes a scenario from YAML (or JSON — valid JSON is a YAML
@@ -449,6 +462,9 @@ func (s *Scenario) Validate() error {
 		if e.AtMS > s.DurationMS {
 			bad("%s.at_ms: %d is after the scenario ends (%d)", at, e.AtMS, s.DurationMS)
 		}
+		if e.RestoreMode != "" && e.Kind != EvRestore {
+			bad("%s.restore_mode: only %q events take a restore mode", at, EvRestore)
+		}
 		switch e.Kind {
 		case EvPowerCut:
 			if !machines[e.Machine] {
@@ -466,6 +482,11 @@ func (s *Scenario) Validate() error {
 			}
 			if s.Placement != nil {
 				bad("%s: placement scenarios recover through coordinator failover, not explicit restore", at)
+			}
+			switch e.RestoreMode {
+			case "", "serial", "lazy", "speculative":
+			default:
+				bad("%s.restore_mode: unknown mode %q (want serial, lazy, or speculative)", at, e.RestoreMode)
 			}
 		case EvPartition:
 			if !repls[e.Group] {
@@ -569,6 +590,11 @@ func (s *Scenario) Validate() error {
 			needGroup()
 			if a.MaxUS <= 0 {
 				bad("%s.max_us: needs a positive bound", at)
+			}
+		case AssertRollbacksAtMost:
+			needGroup()
+			if a.Max < 0 {
+				bad("%s.max: must not be negative", at)
 			}
 		case AssertFleetHealth, AssertFailoversAtLeast:
 			if s.Placement == nil {
@@ -826,6 +852,7 @@ func (d *decoder) scenario(raw map[string]any) *Scenario {
 			Pages:        d.i64list(o, path, "pages"),
 			To:           d.str(o, path, "to"),
 			Rounds:       d.i64(o, path, "rounds"),
+			RestoreMode:  d.str(o, path, "restore_mode"),
 		}
 		d.noExtra(o, path)
 		sc.Events = append(sc.Events, ed)
@@ -839,6 +866,7 @@ func (d *decoder) scenario(raw map[string]any) *Scenario {
 			Event:   d.str(o, path, "event"),
 			Min:     d.i64(o, path, "min"),
 			MaxUS:   d.i64(o, path, "max_us"),
+			Max:     d.i64(o, path, "max"),
 		}
 		d.noExtra(o, path)
 		sc.Assertions = append(sc.Assertions, ad)

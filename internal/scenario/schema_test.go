@@ -34,6 +34,30 @@ func TestDecodeValidMinimal(t *testing.T) {
 	}
 }
 
+func TestDecodeSpeculativeRestore(t *testing.T) {
+	src := validSrc + `
+  - kind: rollbacks-at-most
+    group: demo
+events:
+  - at_ms: 5
+    kind: restore
+    machine: alpha
+    group: demo
+    restore_mode: speculative
+`
+	sc, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Events[0].RestoreMode != "speculative" {
+		t.Fatalf("restore mode = %q", sc.Events[0].RestoreMode)
+	}
+	a := sc.Assertions[1]
+	if a.Kind != AssertRollbacksAtMost || a.Max != 0 {
+		t.Fatalf("assertion = %+v", a)
+	}
+}
+
 // TestDecodeMalformed drives the strict decoder and validator over the
 // whole catalogue of authoring mistakes. Every case must be rejected, and
 // the error must point at the offending field — a CI sweep that says
@@ -265,6 +289,38 @@ assertions:
     machine: alpha
 `,
 			want: "workloads[0]: wal_commit/fold_every need a consistency group",
+		},
+		{
+			name: "unknown restore mode",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: restore
+    machine: alpha
+    group: demo
+    restore_mode: psychic
+`,
+			want: `events[0].restore_mode: unknown mode "psychic"`,
+		},
+		{
+			name: "restore mode on a non-restore event",
+			src: validSrc + `
+events:
+  - at_ms: 5
+    kind: power-cut
+    machine: alpha
+    restore_mode: speculative
+`,
+			want: `events[0].restore_mode: only "restore" events take a restore mode`,
+		},
+		{
+			name: "negative rollbacks bound",
+			src: validSrc + `
+  - kind: rollbacks-at-most
+    group: demo
+    max: -1
+`,
+			want: "assertions[1].max: must not be negative",
 		},
 	}
 

@@ -263,9 +263,13 @@ func slsCrashCheck(seed int64, ops []slsOp, points []slsPoint, k int64, torn, dr
 
 	if golden.mem == nil {
 		// Pre-group epoch: the group record never committed, so the
-		// restore must fail cleanly rather than fabricate a group.
+		// restore must fail cleanly rather than fabricate a group —
+		// in either restore mode.
 		if _, _, err := o2.RestoreGroup("app", store2, RestoreFull, true); err == nil {
 			return fail("restored a group from epoch %d, before its first checkpoint", golden.epoch)
+		}
+		if _, _, err := o2.RestoreGroup("app", store2, RestoreSpeculative, true); err == nil {
+			return fail("speculatively restored a group from epoch %d, before its first checkpoint", golden.epoch)
 		}
 		return nil
 	}
@@ -277,37 +281,96 @@ func slsCrashCheck(seed int64, ops []slsOp, points []slsPoint, k int64, torn, dr
 	if rst.Procs != 1 {
 		return fail("restored %d procs, want 1", rst.Procs)
 	}
-	procs := g2.Procs()
+	if err := verifyGolden(g2, r.va, golden); err != nil {
+		return fail("epoch %d: %v", golden.epoch, err)
+	}
+
+	// The same crash point replays through speculative restore: a second
+	// recovery over the same device (Recover is read-only, so it lands on
+	// the same committed epoch), the group executing immediately with
+	// fault-time content checks, then the validator sweep — which must
+	// confirm the speculation outright; any rollback on a clean image is
+	// a validator bug.
+	r.w.fd.Reopen()
+	store3, err := objstore.Recover(r.w.fd, r.w.clk, r.w.costs)
+	if err != nil {
+		return fail("speculative: recovery: %v", err)
+	}
+	if store3.Epoch() != store2.Epoch() {
+		return fail("speculative: second recovery landed on epoch %d, first on %d", store3.Epoch(), store2.Epoch())
+	}
+	fs3, err := slsfs.Recover(store3, r.w.clk, r.w.costs)
+	if err != nil {
+		return fail("speculative: slsfs recovery: %v", err)
+	}
+	vm3 := vm.NewSystem(mem.New(0), r.w.clk, r.w.costs)
+	k3 := kern.New(r.w.clk, r.w.costs, vm3, fs3)
+	o3 := New(k3, store3)
+	g3, _, err := o3.RestoreGroup("app", store3, RestoreSpeculative, true)
+	if err != nil {
+		return fail("speculative restore from epoch %d: %v", golden.epoch, err)
+	}
+	if g3.SpecState() != SpecSpeculating {
+		return fail("speculative: state %s right after restore, want speculating", g3.SpecState())
+	}
+	// Touch the golden image while still speculating, so a share of the
+	// pages goes through the fault-time check rather than the sweep.
+	if err := verifyGolden(g3, r.va, golden); err != nil {
+		return fail("speculative (pre-validation): epoch %d: %v", golden.epoch, err)
+	}
+	g3, fin, err := o3.FinishSpeculation(g3)
+	if err != nil {
+		return fail("speculative: validation: %v", err)
+	}
+	if fin.Rollbacks != 0 {
+		return fail("speculative: clean image triggered %d rollback(s)", fin.Rollbacks)
+	}
+	if g3.SpecState() != SpecValidated {
+		return fail("speculative: state %s after validation, want validated", g3.SpecState())
+	}
+	if err := verifyGolden(g3, r.va, golden); err != nil {
+		return fail("speculative (post-validation): epoch %d: %v", golden.epoch, err)
+	}
+	if probs := store3.AuditLive(); len(probs) > 0 {
+		return fail("speculative: AuditLive after replay: %v", probs)
+	}
+	return nil
+}
+
+// verifyGolden checks a restored group's memory and journal against one
+// golden point. Reads fault lazily where the restore mode left holes.
+func verifyGolden(g *Group, va uint64, golden *slsPoint) error {
+	procs := g.Procs()
 	if len(procs) != 1 {
-		return fail("group has %d procs, want 1", len(procs))
+		return fmt.Errorf("group has %d procs, want 1", len(procs))
 	}
 	rp := procs[0]
 	buf := make([]byte, 1)
 	for pg, want := range golden.mem {
-		if err := rp.ReadMem(r.va+uint64(pg)*vm.PageSize, buf); err != nil {
-			return fail("epoch %d: read page %d: %v", golden.epoch, pg, err)
+		if err := rp.ReadMem(va+uint64(pg)*vm.PageSize, buf); err != nil {
+			return fmt.Errorf("read page %d: %v", pg, err)
 		}
 		if buf[0] != want {
-			return fail("epoch %d: page %d = %#x, want %#x", golden.epoch, pg, buf[0], want)
+			return fmt.Errorf("page %d = %#x, want %#x", pg, buf[0], want)
 		}
 	}
 	if len(golden.jour) > 0 {
-		j, err := g2.OpenJournal("wal")
+		j, err := g.OpenJournal("wal")
 		if err != nil {
-			return fail("epoch %d: journal: %v", golden.epoch, err)
+			return fmt.Errorf("journal: %v", err)
 		}
 		got, err := j.Entries()
 		if err != nil {
-			return fail("epoch %d: journal scan: %v", golden.epoch, err)
+			return fmt.Errorf("journal scan: %v", err)
 		}
 		// Appends are durable on return, so every golden frame must have
 		// survived; later frames may legitimately replay too.
 		if len(got) < len(golden.jour) {
-			return fail("epoch %d: journal lost entries: %d recovered, %d appended", golden.epoch, len(got), len(golden.jour))
+			return fmt.Errorf("journal lost entries: %d recovered, %d appended", len(got), len(golden.jour))
 		}
 		for i, we := range golden.jour {
 			if got[i].Seq != we.seq || string(got[i].Payload) != string(we.payload) {
-				return fail("epoch %d: journal entry %d differs", golden.epoch, i)
+				return fmt.Errorf("journal entry %d differs", i)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package sls
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"time"
 
@@ -46,6 +47,13 @@ const (
 	// RestoreLazy restores the minimal OS state; pages fault in on
 	// demand through the store pager (§6, lazy restores).
 	RestoreLazy
+	// RestoreSpeculative restores like RestoreLazy but lets the group
+	// execute before its pages are trusted: each demand fault is checked
+	// against the committed image's page sums as it lands, and a
+	// background validator sweep (FinishSpeculation) confirms the rest,
+	// rolling the group back to a serial restore on any mismatch — the
+	// PhoenixOS validated-speculation trick applied to time-to-first-op.
+	RestoreSpeculative
 )
 
 // storePager lazily fills VM pages from a store object. It is the single
@@ -56,8 +64,9 @@ const (
 type storePager struct {
 	src  Source
 	oid  objstore.OID
-	g    *Group // page-in accounting; nil disables
-	swap bool   // counts as swap-in rather than lazy-restore traffic
+	g    *Group     // page-in accounting; nil disables
+	swap bool       // counts as swap-in rather than lazy-restore traffic
+	obj  *vm.Object // owning object, for speculation marks (set post-create)
 }
 
 func (sp *storePager) PageIn(pg int64, p *mem.Page) error {
@@ -73,6 +82,9 @@ func (sp *storePager) PageIn(pg int64, p *mem.Page) error {
 			} else {
 				g.lazyFaults.Add(1)
 				g.lazyBytes.Add(int64(len(p.Data)))
+				if err := sp.speculate(pg, p); err != nil {
+					return err
+				}
 			}
 			if tr := g.o.Tracer; tr != nil {
 				tr.Count(name+".faults", 1)
@@ -81,6 +93,50 @@ func (sp *storePager) PageIn(pg int64, p *mem.Page) error {
 		}
 	}
 	return err
+}
+
+// speculate handles a demand fault that landed while the group executes
+// ahead of validation: the page is marked speculated and, when the source
+// records a committed sum for it, checked in-line — a torn or rotted read
+// must not reach the application even transiently. Pages without a sum
+// (inline objects, holes) stay marked for the validator sweep.
+func (sp *storePager) speculate(pg int64, p *mem.Page) error {
+	g := sp.g
+	if g.SpecState() != SpecSpeculating || sp.obj == nil {
+		return nil
+	}
+	g.specPages.Add(1)
+	sp.obj.MarkSpeculated(pg)
+	if tr := g.o.Tracer; tr != nil {
+		tr.Count("sls.spec.faults", 1)
+	}
+	sum, ok, err := pageSum(sp.src, sp.oid, pg)
+	if err != nil || !ok {
+		return nil // no ground truth; the sweep revisits the mark
+	}
+	if crc32.ChecksumIEEE(p.Data) != sum {
+		g.recordMismatch(sp.oid, pg)
+		return fmt.Errorf("%w: oid %d page %d failed fault-time check", ErrSpeculation, sp.oid, pg)
+	}
+	g.specValidated.Add(1)
+	sp.obj.ClearSpeculated(pg)
+	return nil
+}
+
+// pageSummer is the validation-truth interface both *objstore.Store and
+// *objstore.View provide: the CRC32 recorded when a page was committed.
+type pageSummer interface {
+	PageSum(oid objstore.OID, pg int64) (uint32, bool, error)
+}
+
+// pageSum looks up the committed sum of (oid, pg), reporting ok=false when
+// the source keeps no sum for it.
+func pageSum(src Source, oid objstore.OID, pg int64) (uint32, bool, error) {
+	ps, ok := src.(pageSummer)
+	if !ok {
+		return 0, false, nil
+	}
+	return ps.PageSum(oid, pg)
 }
 
 func (sp *storePager) BackingOID() uint64 { return uint64(sp.oid) }
@@ -101,11 +157,12 @@ var _ vm.SparsePager = (*storePager)(nil)
 // historical view) the next checkpoint performs a full reflush.
 func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, continuing bool) (retG *Group, st RestoreStats, retErr error) {
 	sw := clock.StartStopwatch(o.Clk)
-	st.Lazy = mode == RestoreLazy
+	st.Mode = mode
+	st.Lazy = mode != RestoreFull
 	restSpan := o.Tracer.Begin(trace.TrackSLS, "restore",
-		trace.S("group", name), trace.I("lazy", boolInt(st.Lazy)))
+		trace.S("group", name), trace.I("mode", int64(mode)))
 	if fl := o.Store.Flight(); fl != nil {
-		fl.Record(int64(o.Clk.Now()), flight.EvRestore, int64(o.Store.Epoch()), boolInt(st.Lazy), boolInt(continuing), name)
+		fl.Record(int64(o.Clk.Now()), flight.EvRestore, int64(o.Store.Epoch()), int64(mode), boolInt(continuing), name)
 	}
 
 	// 1. Manifest -> group record.
@@ -124,6 +181,14 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 
 	g := o.CreateGroup(name)
 	g.oid = groupOID
+	if mode == RestoreSpeculative {
+		// The group executes ahead of validation from the moment this
+		// function returns; remember the image so FinishSpeculation can
+		// validate against it and a rollback can re-restore from it.
+		g.specState = SpecSpeculating
+		g.specSrc = src
+		g.specContinuing = continuing
+	}
 	r := &restorer{o: o, g: g, src: src, mode: mode, st: &st}
 	// A restore that dies partway — corrupt record, or the standby itself
 	// power-cut mid-restore — must not leave the half-built group
@@ -259,6 +324,12 @@ func (o *Orchestrator) RestoreGroup(name string, src Source, mode RestoreMode, c
 	st.Objects = len(r.liveOIDs)
 	st.Epoch = o.Store.Epoch()
 	st.Time = sw.Elapsed()
+	if mode == RestoreSpeculative {
+		// Metadata is rebuilt and every page faults in on demand: the
+		// group can execute its first instruction now, before a single
+		// data page has moved.
+		st.TimeToFirstOp = st.Time
+	}
 	restSpan.End(trace.I("procs", int64(st.Procs)), trace.I("objects", int64(st.Objects)),
 		trace.I("pages_eager", st.PagesEager))
 	return g, st, nil
@@ -392,10 +463,13 @@ func (r *restorer) memObject(oid objstore.OID) (*vm.Object, error) {
 		backer = b
 	}
 
-	obj := r.o.K.VM.RestoreObject(vm.Anonymous, meta.size, &storePager{src: r.src, oid: oid, g: r.g}, backer)
+	sp := &storePager{src: r.src, oid: oid, g: r.g}
+	obj := r.o.K.VM.RestoreObject(vm.Anonymous, meta.size, sp, backer)
+	sp.obj = obj
 	r.memObjs[oid] = obj
 	r.liveOIDs[oid] = true
 	r.g.oidOf[obj] = oid
+	r.g.restoredMem = append(r.g.restoredMem, restoredMem{obj: obj, oid: oid, size: meta.size})
 
 	if r.mode == RestoreFull {
 		if err := r.eagerLoad(oid, obj, meta.size); err != nil {
@@ -416,6 +490,9 @@ type bulkSource interface {
 func (r *restorer) eagerLoad(oid objstore.OID, obj *vm.Object, size int64) error {
 	if bs, ok := r.src.(bulkSource); ok {
 		n, err := bs.EachPageBulk(oid, func(pg int64, data []byte) error {
+			if err := verifyPage(r.src, oid, pg, data); err != nil {
+				return err
+			}
 			frame, err := r.o.K.VM.PM.Alloc()
 			if err != nil {
 				return err
@@ -442,9 +519,30 @@ func (r *restorer) eagerLoad(oid objstore.OID, obj *vm.Object, size int64) error
 			r.o.K.VM.PM.Free(frame)
 			continue
 		}
+		if err := verifyPage(r.src, oid, pg, frame.Data); err != nil {
+			r.o.K.VM.PM.Free(frame)
+			return err
+		}
 		frame.Backed = true
 		obj.InsertPage(pg, frame)
 		r.st.PagesEager++
+	}
+	return nil
+}
+
+// verifyPage cross-checks page data read from the device against the sum
+// recorded when the page was committed. Eager restores always verify: a
+// rotted read must fail the restore loudly, not hand the application
+// corrupt memory — and the rollback path's serial re-restore relies on
+// this to refuse a persistently damaged image rather than "succeed" with
+// garbage.
+func verifyPage(src Source, oid objstore.OID, pg int64, data []byte) error {
+	sum, ok, err := pageSum(src, oid, pg)
+	if err != nil {
+		return err
+	}
+	if ok && crc32.ChecksumIEEE(data) != sum {
+		return fmt.Errorf("sls: restore: oid %d page %d content does not match committed sum", oid, pg)
 	}
 	return nil
 }
