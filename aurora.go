@@ -38,6 +38,7 @@ import (
 	"aurora/internal/objstore"
 	"aurora/internal/sls"
 	"aurora/internal/slsfs"
+	"aurora/internal/telemetry"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
@@ -132,6 +133,11 @@ const (
 
 // Config sizes a Machine.
 type Config struct {
+	// Name identifies the machine in fleet telemetry: it seeds the
+	// trace-context source id replication frames carry and labels the
+	// machine's process in the merged fleet timeline. Optional — an
+	// unnamed machine ships an empty trace-context.
+	Name string
 	// StorageBytes is the total capacity of the striped store devices.
 	StorageBytes int64
 	// MemoryBytes caps simulated physical memory; 0 is unlimited.
@@ -146,6 +152,12 @@ type Config struct {
 	// the store, and the SLS orchestrator. Off by default: the disabled
 	// path costs one nil check per hook site.
 	Trace bool
+	// Telemetry enables the typed metrics registry (internal/telemetry):
+	// stop time, durable/WAL windows, restore time-to-first-op, and
+	// replication lag recorded at the source, sampled into time series,
+	// and aggregated fleet-wide. Off by default, same cost contract as
+	// Trace.
+	Telemetry bool
 	// Net, when non-nil, routes ReplicateTo and MigrateTo over a simulated
 	// lossy network instead of the direct in-process copy. Each call builds
 	// a fresh connection from this description.
@@ -212,15 +224,21 @@ type Machine struct {
 	// machines built without one. It persists across Crash — the crash
 	// log and armed bit-rot are media properties, not volatile state.
 	Fault *FaultDev
+	// Metrics is the telemetry registry from Config.Telemetry; nil on
+	// machines built without one. Like the tracer it rides across Crash,
+	// so post-reboot restores land in the same series as the checkpoints
+	// before the cut.
+	Metrics *telemetry.Registry
 
 	cfg     Config
 	auditor *audit.Auditor
 	wd      *audit.Watchdog
+	slo     *telemetry.Watch
 }
 
 // NewMachine boots a machine with freshly formatted storage.
 func NewMachine(cfg Config) (*Machine, error) {
-	return build(cfg, nil, nil, true, nil, nil)
+	return build(cfg, nil, nil, true, nil, nil, nil)
 }
 
 // build assembles a machine; when disk is non-nil the store is recovered
@@ -229,7 +247,8 @@ func NewMachine(cfg Config) (*Machine, error) {
 // timeline spans reboots; otherwise cfg.Trace creates a fresh one. A
 // non-nil fd carries an existing fault device across a crash (its crash
 // log and rot are media state); otherwise cfg.Fault interposes a fresh one.
-func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr *trace.Tracer, fd *FaultDev) (*Machine, error) {
+// A non-nil reg likewise carries the telemetry registry across a crash.
+func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr *trace.Tracer, fd *FaultDev, reg *telemetry.Registry) (*Machine, error) {
 	if cfg.Devices == 0 {
 		cfg.Devices = 4
 	}
@@ -254,6 +273,9 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 	}
 	if tr == nil && cfg.Trace {
 		tr = trace.New(clk)
+	}
+	if reg == nil && cfg.Telemetry {
+		reg = telemetry.New(clk)
 	}
 	disk.SetTracer(tr)
 	// The flight ring is volatile state: a boot (or reboot) starts a fresh
@@ -300,19 +322,21 @@ func build(cfg Config, disk *device.Stripe, clk *clock.Virtual, format bool, tr 
 	vmsys := vm.NewSystem(mem.New(cfg.MemoryBytes), clk, costs)
 	k := kern.New(clk, costs, vmsys, fs)
 	m := &Machine{
-		Clock:  clk,
-		Costs:  costs,
-		Disk:   disk,
-		Store:  store,
-		FS:     fs,
-		K:      k,
-		SLS:    sls.New(k, store),
-		Tracer: tr,
-		Flight: fl,
-		Fault:  fd,
-		cfg:    cfg,
+		Clock:   clk,
+		Costs:   costs,
+		Disk:    disk,
+		Store:   store,
+		FS:      fs,
+		K:       k,
+		SLS:     sls.New(k, store),
+		Tracer:  tr,
+		Flight:  fl,
+		Fault:   fd,
+		Metrics: reg,
+		cfg:     cfg,
 	}
 	m.SLS.Tracer = tr
+	m.SLS.Metrics = reg
 	m.Net = cfg.Net
 	return m, nil
 }
@@ -336,6 +360,7 @@ func (m *Machine) Audit() AuditReport {
 		m.auditor = &audit.Auditor{
 			Store: m.Store, K: m.K, O: m.SLS,
 			Fl: m.Flight, Tr: m.Tracer, Clk: m.Clock,
+			Reg: m.Metrics, SLO: m.slo,
 		}
 	}
 	return m.auditor.Run()
@@ -367,7 +392,24 @@ func (m *Machine) NewConn(nc *NetConfig) *NetConn {
 	pipe := net.NewPipe(m.Clock, params, nc.Fwd, nc.Rev)
 	conn := net.NewConn(pipe, m.Clock, nc.Conn, m.Tracer)
 	conn.SetFlight(m.Flight)
+	if m.cfg.Name != "" {
+		conn.SetSource(telemetry.MachineID(m.cfg.Name))
+	}
 	return conn
+}
+
+// Name returns the machine's fleet identity from Config.Name.
+func (m *Machine) Name() string { return m.cfg.Name }
+
+// AttachSLO points the machine's auditor at an SLO watch: the sls.slo
+// audit family cross-checks the watch's breach log against the registry's
+// slo.breaches counter on every audit pass.
+func (m *Machine) AttachSLO(w *telemetry.Watch) {
+	m.slo = w
+	if m.auditor != nil {
+		m.auditor.SLO = w
+		m.auditor.Reg = m.Metrics
+	}
 }
 
 // Crash simulates power loss and reboot: all volatile state (kernel,
@@ -383,7 +425,7 @@ func (m *Machine) Crash() (*Machine, error) {
 	cfg := m.cfg
 	cfg.Costs = m.Costs
 	cfg.Net = m.Net
-	return build(cfg, m.Disk, m.Clock, false, m.Tracer, m.Fault)
+	return build(cfg, m.Disk, m.Clock, false, m.Tracer, m.Fault, m.Metrics)
 }
 
 // PowerCut forces a power failure through the fault device: the machine's
@@ -449,7 +491,7 @@ func BootImage(r io.Reader, cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	cfg.Costs = costs
-	return build(cfg, disk, clk, false, nil, nil)
+	return build(cfg, disk, clk, false, nil, nil, nil)
 }
 
 // PersistedGroups lists group names recorded on disk (sls ps after boot).

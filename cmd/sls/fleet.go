@@ -8,6 +8,11 @@ package main
 // heartbeat detector noticing, the failovers, and the reseeded standbys:
 // the quickest way to see the placement layer work without writing a
 // scenario file.
+//
+// The demo fleet runs fully instrumented: every machine carries a
+// telemetry registry, the coordinator records its decisions into a fleet
+// registry watched by default SLOs, and `sls top` renders the same run as
+// a per-machine metrics table.
 
 import (
 	"flag"
@@ -17,6 +22,7 @@ import (
 	"aurora"
 	"aurora/internal/clock"
 	"aurora/internal/placement"
+	"aurora/internal/telemetry"
 	"aurora/internal/vm"
 )
 
@@ -32,58 +38,97 @@ func cmdFleet(args []string) error {
 	}
 }
 
-func cmdFleetStatus(args []string) error {
-	fs := flag.NewFlagSet("fleet status", flag.ExitOnError)
-	nMachines := fs.Int("machines", 4, "fleet size")
-	nGroups := fs.Int("groups", 3, "managed groups (first machines get one each)")
-	ticks := fs.Int("ticks", 40, "drive rounds (1ms of virtual time each)")
-	kill := fs.String("kill", "", "machine to kill at the halfway tick")
-	fs.Parse(args)
-	if *nMachines < 1 || *nGroups < 1 || *nGroups > *nMachines {
-		return fmt.Errorf("need 1 <= groups (%d) <= machines (%d)", *nGroups, *nMachines)
-	}
+// demoApp is one managed counter group and its current live process.
+type demoApp struct {
+	name string
+	p    *aurora.Proc
+}
 
-	clk := clock.NewVirtual()
-	coord := placement.New(clk, placement.Config{
+// fleetDemo is the deterministic in-memory fleet the fleet/top verbs
+// drive: machines under one virtual clock, managed groups, and the
+// telemetry plane (per-machine registries, an instrumented coordinator,
+// default fleet SLOs).
+type fleetDemo struct {
+	clk      *clock.Virtual
+	coord    *placement.Coordinator
+	machines []*aurora.Machine
+	names    []string
+	apps     []*demoApp
+	killed   map[string]bool
+	fleet    *telemetry.Fleet
+	coordReg *telemetry.Registry
+	watch    *telemetry.Watch
+}
+
+// defaultFleetSLOs are the objectives the demo fleet is watched under:
+// failovers must complete under 50ms of virtual time, and no group may
+// ever be left orphaned.
+func defaultFleetSLOs() []telemetry.SLO {
+	return []telemetry.SLO{
+		{Name: "failover-p99", Metric: "fleet.failover.ns", Kind: telemetry.SLOP99Under, Bound: int64(50 * time.Millisecond)},
+		{Name: "no-orphans", Metric: "fleet.orphans", Kind: telemetry.SLOMaxUnder, Bound: 1},
+	}
+}
+
+func buildFleetDemo(nMachines, nGroups int) (*fleetDemo, error) {
+	if nMachines < 1 || nGroups < 1 || nGroups > nMachines {
+		return nil, fmt.Errorf("need 1 <= groups (%d) <= machines (%d)", nGroups, nMachines)
+	}
+	d := &fleetDemo{
+		clk:    clock.NewVirtual(),
+		killed: map[string]bool{},
+		fleet:  telemetry.NewFleet(),
+	}
+	d.coord = placement.New(d.clk, placement.Config{
 		SyncEvery:      5 * time.Millisecond,
 		HeartbeatEvery: 2 * time.Millisecond,
 	})
-	type app struct {
-		name string
-		p    *aurora.Proc
-	}
-	var apps []*app
-	killed := map[string]bool{}
-	machines := make([]*aurora.Machine, *nMachines)
-	for i := 0; i < *nMachines; i++ {
-		m, err := aurora.NewMachine(aurora.Config{StorageBytes: 64 << 20, Clock: clk})
+	d.coordReg = telemetry.New(d.clk)
+	d.coord.Instrument(nil, d.coordReg)
+	d.watch = telemetry.NewWatch(defaultFleetSLOs())
+	d.coord.WatchSLO(d.watch)
+	for i := 0; i < nMachines; i++ {
+		name := fmt.Sprintf("m%d", i)
+		m, err := aurora.NewMachine(aurora.Config{
+			StorageBytes: 64 << 20, Clock: d.clk, Name: name, Telemetry: true,
+		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		machines[i] = m
-		if _, err := coord.AddMachine(fmt.Sprintf("m%d", i), m); err != nil {
-			return err
+		d.machines = append(d.machines, m)
+		d.names = append(d.names, name)
+		d.fleet.Add(name, m.Metrics)
+		if _, err := d.coord.AddMachine(name, m); err != nil {
+			return nil, err
 		}
 	}
+	d.fleet.Add("fleet", d.coordReg)
 	// Manage only once every machine is registered — the first group's
 	// standby has to land somewhere.
-	for i := 0; i < *nGroups; i++ {
-		m := machines[i]
+	for i := 0; i < nGroups; i++ {
+		m := d.machines[i]
 		group := fmt.Sprintf("g%d", i)
 		p := m.Spawn(group)
 		if _, err := p.Mmap(1<<20, aurora.ProtRead|aurora.ProtWrite, false); err != nil {
-			return err
+			return nil, err
 		}
 		if _, err := m.Attach(group, p); err != nil {
-			return err
+			return nil, err
 		}
-		apps = append(apps, &app{name: group, p: p})
-		if _, err := coord.Manage(group, fmt.Sprintf("m%d", i), nil); err != nil {
-			return err
+		d.apps = append(d.apps, &demoApp{name: group, p: p})
+		if _, err := d.coord.Manage(group, fmt.Sprintf("m%d", i), nil); err != nil {
+			return nil, err
 		}
 	}
+	return d, nil
+}
 
-	step := func(a *app) error {
+// run drives the fleet for the given number of 1ms ticks, killing the
+// named machine at the halfway point. Each tick the telemetry plane is
+// sampled and the SLO watch evaluated; onEvent (optional) sees every
+// coordinator decision as it fires.
+func (d *fleetDemo) run(ticks int, kill string, onEvent func(placement.Event)) error {
+	step := func(a *demoApp) error {
 		var buf [8]byte
 		for i := 0; i < 20; i++ {
 			if err := a.p.ReadMem(vm.UserBase, buf[:]); err != nil {
@@ -94,31 +139,36 @@ func cmdFleetStatus(args []string) error {
 				return err
 			}
 		}
-		coord.RecordOps(a.name, 20)
+		d.coord.RecordOps(a.name, 20)
 		return nil
 	}
-	for t := 0; t < *ticks; t++ {
-		if *kill != "" && t == *ticks/2 {
-			if err := coord.KillMachine(*kill); err != nil {
+	for t := 0; t < ticks; t++ {
+		if kill != "" && t == ticks/2 {
+			if err := d.coord.KillMachine(kill); err != nil {
 				return err
 			}
-			killed[*kill] = true
-			fmt.Printf("[%8.3fms] kill       node=%s\n", float64(clk.Now().Microseconds())/1000, *kill)
+			d.killed[kill] = true
+			if onEvent != nil {
+				fmt.Printf("[%8.3fms] kill       node=%s\n",
+					float64(d.clk.Now().Microseconds())/1000, kill)
+			}
 		}
-		for _, a := range apps {
-			as, ok := coord.Assignment(a.name)
-			if !ok || as.Orphaned || killed[as.Primary] {
+		for _, a := range d.apps {
+			as, ok := d.coord.Assignment(a.name)
+			if !ok || as.Orphaned || d.killed[as.Primary] {
 				continue
 			}
 			if err := step(a); err != nil {
 				return fmt.Errorf("group %s: %w", a.name, err)
 			}
 		}
-		clk.Advance(time.Millisecond)
-		for _, e := range coord.Tick() {
-			fmt.Println(e)
+		d.clk.Advance(time.Millisecond)
+		for _, e := range d.coord.Tick() {
+			if onEvent != nil {
+				onEvent(e)
+			}
 			if e.G != nil {
-				for _, a := range apps {
+				for _, a := range d.apps {
 					if a.name == e.Group {
 						if procs := e.G.Procs(); len(procs) == 1 {
 							a.p = procs[0]
@@ -127,7 +177,32 @@ func cmdFleetStatus(args []string) error {
 				}
 			}
 		}
+		for _, m := range d.machines {
+			m.Metrics.Sample()
+		}
+		d.coordReg.Sample()
+		if fired := d.watch.Eval(d.coordReg, d.clk.Now()); len(fired) > 0 {
+			d.coordReg.Counter("slo.breaches").Add(int64(len(fired)))
+		}
 	}
-	fmt.Print(coord.Status())
+	return nil
+}
+
+func cmdFleetStatus(args []string) error {
+	fs := flag.NewFlagSet("fleet status", flag.ExitOnError)
+	nMachines := fs.Int("machines", 4, "fleet size")
+	nGroups := fs.Int("groups", 3, "managed groups (first machines get one each)")
+	ticks := fs.Int("ticks", 40, "drive rounds (1ms of virtual time each)")
+	kill := fs.String("kill", "", "machine to kill at the halfway tick")
+	fs.Parse(args)
+
+	d, err := buildFleetDemo(*nMachines, *nGroups)
+	if err != nil {
+		return err
+	}
+	if err := d.run(*ticks, *kill, func(e placement.Event) { fmt.Println(e) }); err != nil {
+		return err
+	}
+	fmt.Print(d.coord.Status())
 	return nil
 }

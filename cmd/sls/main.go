@@ -84,6 +84,10 @@ func run() error {
 		return cmdFlight(*img, args)
 	case "trace":
 		return cmdTrace(args)
+	case "metrics":
+		return cmdMetrics(args)
+	case "top":
+		return cmdTop(args)
 	case "scenario":
 		return cmdScenario(args)
 	case "fleet":
@@ -120,6 +124,12 @@ commands:
   flight [-tail K]                  dump the pre-crash flight timeline
   trace [-steps K] [-o FILE]        run the demo under the tracer and
                                     export a Chrome trace-event file
+  metrics [-steps K] [-format F]    run the demo under the telemetry
+          [-o FILE]                 registry and export it as Prometheus
+                                    text (prom) or a JSON snapshot (json)
+  top [-machines N] [-groups G]     drive the demo fleet and render a
+      [-ticks T] [-kill M]          per-machine metrics table with fleet
+                                    counters and SLO breaches
   scenario run [-seed S] [-stretch N] [-artifacts DIR] [-v] FILE|DIR...
                                     execute declarative chaos scenarios
   scenario validate FILE|DIR...     check scenario files without running

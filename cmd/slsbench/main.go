@@ -23,12 +23,19 @@
 // declarative chaos engine runs each scenario as a benchmark: the summary
 // plus wall time per scenario, failing if any scenario fails. -stretch
 // multiplies the scenario timelines, turning the corpus into a soak run.
+//
+// With -results DIR, every experiment additionally writes a
+// BENCH_<experiment>.json artifact under DIR — the typed result rows the
+// table rendered, plus scale and wall time — the machine-readable record
+// CI uploads so runs can be compared without scraping stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"aurora"
@@ -55,6 +62,7 @@ func main() {
 	inspect := flag.Bool("inspect", false, "print the post-restore introspection page and audit report")
 	scenarioPath := flag.String("scenario", "", "run a chaos scenario file or corpus directory as a benchmark")
 	stretch := flag.Int64("stretch", 0, "multiply scenario timelines (soak runs; with -scenario)")
+	results := flag.String("results", "", "write BENCH_<experiment>.json artifacts under DIR")
 	flag.Parse()
 
 	scale := experiments.Full
@@ -131,9 +139,50 @@ func main() {
 			fmt.Fprintf(os.Stderr, "slsbench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		fmt.Println(res.Render())
-		fmt.Printf("[%s completed in %v wall time]\n\n", r.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v wall time]\n\n", r.name, wall.Round(time.Millisecond))
+		if *results != "" {
+			if err := writeBenchArtifact(*results, r.name, *quick, res, wall); err != nil {
+				fmt.Fprintf(os.Stderr, "slsbench: %s: artifact: %v\n", r.name, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// benchArtifact is the machine-readable record one experiment leaves
+// behind: the typed result struct the renderer printed, plus enough
+// context (scale, wall time) to compare artifacts across CI runs.
+type benchArtifact struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	WallMS     int64  `json:"wall_ms"`
+	Result     any    `json:"result"`
+}
+
+// writeBenchArtifact dumps BENCH_<experiment>.json under dir. The result
+// rows are virtual-clock measurements — deterministic across runs —
+// while wall_ms is the host-time cost of regenerating them.
+func writeBenchArtifact(dir, name string, quick bool, res any, wall time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	scaleName := "full"
+	if quick {
+		scaleName = "quick"
+	}
+	blob, err := json.MarshalIndent(benchArtifact{
+		Experiment: name,
+		Scale:      scaleName,
+		WallMS:     wall.Milliseconds(),
+		Result:     res,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // runScenarios treats a chaos corpus as a benchmark suite: every scenario

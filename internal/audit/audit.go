@@ -19,6 +19,7 @@ import (
 	"aurora/internal/kern"
 	"aurora/internal/objstore"
 	"aurora/internal/sls"
+	"aurora/internal/telemetry"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
@@ -69,6 +70,12 @@ type Auditor struct {
 	Tr    *trace.Tracer    // audit.runs / audit.violations counters
 	Clk   clock.Clock
 
+	// Telemetry cross-checks (the sls.slo family): when a machine runs an
+	// SLO watch, its breach log, the registry's slo.breaches counter, and
+	// the breaches themselves must agree. Both optional.
+	Reg *telemetry.Registry
+	SLO *telemetry.Watch
+
 	// Watchdog memory: epochs must only move forward between passes.
 	lastStoreEpoch objstore.Epoch
 	lastGroupEpoch map[string]objstore.Epoch
@@ -101,6 +108,9 @@ func (a *Auditor) Run() Report {
 			a.auditGroup(&r, g, add)
 		}
 	}
+	if a.SLO != nil {
+		a.auditSLO(&r, add)
+	}
 
 	if a.Tr != nil {
 		a.Tr.Count("audit.runs", 1)
@@ -114,6 +124,32 @@ func (a *Auditor) Run() Report {
 		}
 	}
 	return r
+}
+
+// auditSLO cross-checks the SLO engine's bookkeeping (the sls.slo rule
+// family): every recorded breach must actually violate its own bound —
+// a breach that does not means the engine mis-fired — and when a
+// registry is attached, its slo.breaches counter must equal the watch's
+// breach log, so a lost or double-counted breach cannot hide.
+func (a *Auditor) auditSLO(r *Report, add func(rule, format string, args ...any)) {
+	r.Rules++
+	breaches := a.SLO.Breaches()
+	r.Objects += len(breaches)
+	if a.Reg != nil {
+		if c := a.Reg.Counter("slo.breaches").Value(); c != int64(len(breaches)) {
+			add("sls.slo", "slo.breaches counter %d disagrees with breach log length %d", c, len(breaches))
+		}
+	}
+	for _, b := range breaches {
+		violates := b.Value >= b.Bound
+		if b.Kind == "final-at-least" {
+			violates = b.Value < b.Bound
+		}
+		if !violates {
+			add("sls.slo", "breach %q recorded but value %d does not violate %s bound %d",
+				b.SLO, b.Value, b.Kind, b.Bound)
+		}
+	}
 }
 
 // auditGroup checks one consistency group: its epochs against the store and

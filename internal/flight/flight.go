@@ -57,6 +57,7 @@ const (
 	EvWALGC                           // A=bytes reclaimed, B=generation retired
 	EvSpecValidated                   // A=group OID, B=pages validated, C=pages speculated
 	EvSpecRollback                    // A=group OID, B=object OID of the mismatch, C=page index
+	EvSLOBreach                       // A=observed value, B=bound, C=virtual µs; detail names the rule
 )
 
 // String names the kind for timelines.
@@ -100,6 +101,8 @@ func (k Kind) String() string {
 		return "restore.validated"
 	case EvSpecRollback:
 		return "restore.rollback"
+	case EvSLOBreach:
+		return "slo.breach"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

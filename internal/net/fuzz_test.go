@@ -49,7 +49,7 @@ func FuzzNetFrame(f *testing.F) {
 		if fr.Type < FrameHello || fr.Type > FrameAck {
 			t.Fatalf("accepted unknown type %d", fr.Type)
 		}
-		re := EncodeFrame(fr.Type, fr.Epoch, fr.Seq, fr.Total, fr.Payload)
+		re := EncodeFrameCtx(fr.Type, fr.Epoch, fr.Seq, fr.Total, fr.SrcID, fr.SpanID, fr.Payload)
 		if !bytes.Equal(re, data) {
 			t.Fatalf("accepted frame does not round-trip: %d vs %d bytes", len(re), len(data))
 		}

@@ -24,6 +24,7 @@ import (
 	"aurora/internal/clock"
 	"aurora/internal/flight"
 	"aurora/internal/rec"
+	"aurora/internal/telemetry"
 	"aurora/internal/trace"
 )
 
@@ -63,17 +64,29 @@ type Frame struct {
 	Epoch   uint64 // transfer key
 	Seq     uint64 // Data: frame index; Ack/HelloAck: next expected index
 	Total   uint64 // frames in the transfer
+	SrcID   uint64 // trace-context: sending machine id (0 = untraced)
+	SpanID  uint64 // trace-context: sender's transfer span id (0 = untraced)
 	Payload []byte // Data only
 }
 
-// EncodeFrame seals one frame: magic, header, payload, CRC.
+// EncodeFrame seals one frame with an empty trace-context: magic, header,
+// payload, CRC.
 func EncodeFrame(t FrameType, epoch, seq, total uint64, payload []byte) []byte {
+	return EncodeFrameCtx(t, epoch, seq, total, 0, 0, payload)
+}
+
+// EncodeFrameCtx seals one frame carrying a trace-context — the sending
+// machine's id and the transfer span id — so the receiver can stitch the
+// ship into a cross-machine flow on the merged fleet timeline.
+func EncodeFrameCtx(t FrameType, epoch, seq, total, src, span uint64, payload []byte) []byte {
 	e := rec.NewEncoder()
 	e.U32(frameMagic)
 	e.U8(uint8(t))
 	e.U64(epoch)
 	e.U64(seq)
 	e.U64(total)
+	e.U64(src)
+	e.U64(span)
 	e.Bytes(payload)
 	return e.Seal()
 }
@@ -90,10 +103,12 @@ func DecodeFrame(b []byte) (*Frame, error) {
 		return nil, fmt.Errorf("%w: bad magic", ErrFrame)
 	}
 	f := &Frame{
-		Type:  FrameType(d.U8()),
-		Epoch: d.U64(),
-		Seq:   d.U64(),
-		Total: d.U64(),
+		Type:   FrameType(d.U8()),
+		Epoch:  d.U64(),
+		Seq:    d.U64(),
+		Total:  d.U64(),
+		SrcID:  d.U64(),
+		SpanID: d.U64(),
 	}
 	f.Payload = d.Bytes()
 	if err := d.Err(); err != nil {
@@ -162,6 +177,8 @@ type session struct {
 	next     uint64 // cumulative: frames [0, next) are applied
 	buf      bytes.Buffer
 	complete bool
+	srcID    uint64 // trace-context of the last frame that touched the session
+	spanID   uint64
 }
 
 // ConnStats counts a connection's lifetime activity across transfers.
@@ -200,9 +217,14 @@ type Conn struct {
 	cfg   Config
 	tr    *trace.Tracer
 	fl    *flight.Recorder
+	src   uint64 // trace-context source id stamped on outgoing frames
 	sess  map[uint64]*session
 	stats ConnStats
 }
+
+// SetSource sets the trace-context machine id stamped on every outgoing
+// Hello and Data frame. Zero (the default) ships an empty context.
+func (c *Conn) SetSource(id uint64) { c.src = id }
 
 // SetFlight attaches a flight recorder. Only transfer resumes are recorded
 // — the single moment worth a forensic mark: a resume proves the wire
@@ -237,6 +259,18 @@ func (c *Conn) SessionProgress(epoch uint64) (next, total uint64, ok bool) {
 		return 0, 0, false
 	}
 	return s.next, s.total, true
+}
+
+// SessionContext returns the trace-context carried by the last frame that
+// touched the epoch's session — the sending machine id and transfer span
+// id a receiver stamps on its apply events to close the cross-machine
+// flow. ok is false when no session exists or the sender was untraced.
+func (c *Conn) SessionContext(epoch uint64) (src, span uint64, ok bool) {
+	s := c.sess[epoch]
+	if s == nil || (s.srcID == 0 && s.spanID == 0) {
+		return 0, 0, false
+	}
+	return s.srcID, s.spanID, true
 }
 
 // Take removes and returns the assembled payload of a completed transfer.
@@ -342,6 +376,9 @@ func (c *Conn) handleHello(f *Frame) {
 		}
 		c.sess[f.Epoch] = s
 	}
+	if f.SrcID != 0 || f.SpanID != 0 {
+		s.srcID, s.spanID = f.SrcID, f.SpanID
+	}
 	c.pipe.Rev.Send(EncodeFrame(FrameHelloAck, f.Epoch, s.next, s.total, nil))
 }
 
@@ -356,6 +393,9 @@ func (c *Conn) handleData(f *Frame) {
 	if f.Total != s.total {
 		c.stats.Strays++
 		return
+	}
+	if f.SrcID != 0 || f.SpanID != 0 {
+		s.srcID, s.spanID = f.SrcID, f.SpanID
 	}
 	switch {
 	case s.complete || f.Seq < s.next:
@@ -378,11 +418,11 @@ func (c *Conn) handleData(f *Frame) {
 // connect performs the handshake: Hello until a HelloAck arrives, with
 // capped backoff. It returns the receiver's next expected frame — the
 // resume point.
-func (c *Conn) connect(epoch, total uint64, st *TransferStats) (uint64, error) {
+func (c *Conn) connect(epoch, total, spanID uint64, st *TransferStats) (uint64, error) {
 	span := traceChildless(c.tr, "net.connect", trace.I("epoch", int64(epoch)))
 	rto := c.cfg.RTO
 	for attempt := 0; ; attempt++ {
-		hello := EncodeFrame(FrameHello, epoch, 0, total, nil)
+		hello := EncodeFrameCtx(FrameHello, epoch, 0, total, c.src, spanID, nil)
 		st.WireBytes += int64(len(hello))
 		c.pipe.Fwd.Send(hello)
 		res := c.pump(epoch)
@@ -438,7 +478,7 @@ func (c *Conn) Transfer(epoch uint64, payload []byte) (TransferStats, error) {
 	span := traceChildless(c.tr, "net.transfer",
 		trace.I("epoch", int64(epoch)), trace.I("bytes", int64(len(payload))), trace.I("frames", int64(total)))
 
-	base, err := c.connect(epoch, total, &st)
+	base, err := c.connect(epoch, total, span.ID(), &st)
 	if err != nil {
 		span.End(trace.S("err", err.Error()))
 		return st, err
@@ -472,7 +512,7 @@ func (c *Conn) Transfer(epoch uint64, payload []byte) (TransferStats, error) {
 			if hi > len(payload) {
 				hi = len(payload)
 			}
-			frame := EncodeFrame(FrameData, epoch, sent, total, payload[lo:hi])
+			frame := EncodeFrameCtx(FrameData, epoch, sent, total, c.src, span.ID(), payload[lo:hi])
 			if sent < high {
 				st.Retransmits++
 				c.stats.Retransmits++
@@ -518,6 +558,16 @@ func (c *Conn) Transfer(epoch uint64, payload []byte) (TransferStats, error) {
 		c.tr.Count("net.transfers", 1)
 		c.tr.Observe("net.transfer.ns", int64(st.Elapsed))
 	}
-	span.End(trace.I("sent", st.FramesSent), trace.I("retx", st.Retransmits), trace.I("backoffs", st.Backoffs))
+	endArgs := []trace.Arg{
+		trace.I("sent", st.FramesSent), trace.I("retx", st.Retransmits), trace.I("backoffs", st.Backoffs),
+	}
+	if c.src != 0 && span.ID() != 0 {
+		// Hand the causality to the receiver: the merged fleet timeline
+		// draws an arrow from this span to whatever event the far side
+		// stamps with the matching flow id (telemetry.FlowID of the
+		// trace-context every frame of this transfer carried).
+		endArgs = append(endArgs, trace.I(telemetry.FlowOut, int64(telemetry.FlowID(c.src, span.ID()))))
+	}
+	span.End(endArgs...)
 	return st, nil
 }

@@ -28,6 +28,8 @@ import (
 	"aurora"
 	"aurora/internal/clock"
 	"aurora/internal/net"
+	"aurora/internal/telemetry"
+	"aurora/internal/trace"
 )
 
 // Config tunes the coordinator's cadences and thresholds. Zero values
@@ -79,10 +81,11 @@ type Node struct {
 	Name string
 	M    *aurora.Machine
 
-	hb   *net.Link // heartbeat wire the detector probes over
-	down bool      // ground truth: the driver cut power; probes go unanswered
-	dead bool      // coordinator's belief, set by the detector or a watchdog declare
-	ops  int64     // load window: driver-reported ops landed on this primary
+	hb     *net.Link     // heartbeat wire the detector probes over
+	down   bool          // ground truth: the driver cut power; probes go unanswered
+	downAt time.Duration // when the driver cut power; anchors failover latency
+	dead   bool          // coordinator's belief, set by the detector or a watchdog declare
+	ops    int64         // load window: driver-reported ops landed on this primary
 }
 
 // Alive reports the coordinator's belief about the node.
@@ -196,6 +199,16 @@ type Coordinator struct {
 	lastHB, lastSync, lastAudit, lastReb time.Duration
 
 	deaths, failovers, rebalances, syncErrors, orphans int64
+
+	// Observability hooks, all optional. tr records placement decisions on
+	// the fleet/audit lanes, reg accumulates fleet-level counters and
+	// latency histograms, and slo is a watch whose breach log Status
+	// renders (the driver that samples metrics evaluates it; the
+	// coordinator only reports).
+	tr  *trace.Tracer
+	reg *telemetry.Registry
+	slo *telemetry.Watch
+	src uint64 // coordinator's trace-context source id for flow stitching
 }
 
 // New builds a coordinator driven by clk. All cadences and the failure
@@ -209,6 +222,56 @@ func New(clk clock.Clock, cfg Config) *Coordinator {
 		det:    net.NewDetector(net.DetectorConfig{Misses: cfg.DeadAfterMisses}),
 		nodes:  make(map[string]*Node),
 		groups: make(map[string]*Assignment),
+	}
+}
+
+// Instrument attaches a tracer and a metrics registry to the coordinator.
+// Placement decisions — heartbeat scans, death declarations, failovers,
+// reseeds, rebalance migrations — become spans and instants on the fleet
+// lane (watchdog audits on the audit lane), and the registry accumulates
+// fleet counters, per-node load gauges, and failover/migration latency
+// histograms. Either argument may be nil; the coordinator stays nil-safe.
+func (c *Coordinator) Instrument(tr *trace.Tracer, reg *telemetry.Registry) {
+	c.tr = tr
+	c.reg = reg
+	c.src = telemetry.MachineID("coordinator")
+	if reg != nil {
+		// Pre-register the full counter family so a clean run still exports
+		// every fleet metric as a zero series — an SLO or assertion on
+		// fleet.orphans must read 0, not "no data".
+		for _, name := range []string{
+			"fleet.deaths", "fleet.failovers", "fleet.reseeds",
+			"fleet.rebalances", "fleet.migrations", "fleet.orphans",
+			"fleet.sync_errors",
+		} {
+			reg.Counter(name)
+		}
+		reg.Gauge("fleet.alive")
+	}
+}
+
+// WatchSLO gives Status a breach log to render. The coordinator never
+// evaluates the watch itself — the driver sampling the metrics does —
+// so attaching the same watch here cannot double-count breaches.
+func (c *Coordinator) WatchSLO(w *telemetry.Watch) { c.slo = w }
+
+// span opens a placement-decision span; nil-safe on an untraced coordinator.
+func (c *Coordinator) span(track trace.Track, name string, args ...trace.Arg) trace.Span {
+	if c.tr == nil {
+		return trace.Span{}
+	}
+	return c.tr.Begin(track, name, args...)
+}
+
+func (c *Coordinator) count(name string, d int64) {
+	if c.reg != nil {
+		c.reg.Counter(name).Add(d)
+	}
+}
+
+func (c *Coordinator) observe(name string, v int64) {
+	if c.reg != nil {
+		c.reg.Observe(name, v)
 	}
 }
 
@@ -294,6 +357,7 @@ func (c *Coordinator) KillMachine(name string) error {
 		return fmt.Errorf("placement: no machine %q", name)
 	}
 	n.down = true
+	n.downAt = c.clk.Now()
 	return nil
 }
 
@@ -346,13 +410,32 @@ func (c *Coordinator) Rebalance() []Event {
 // heartbeat probes every registered machine over its heartbeat wire and
 // acts on death edges.
 func (c *Coordinator) heartbeat(evs *[]Event) {
+	sp := c.span(trace.TrackFleet, "fleet.heartbeat")
+	probed, alive := 0, 0
 	for _, name := range c.order {
 		n := c.nodes[name]
 		if n.dead {
 			continue
 		}
+		probed++
 		if c.det.Probe(name, n.hb, !n.down) {
 			c.markDead(n, evs)
+		} else {
+			alive++
+		}
+	}
+	sp.End(trace.I("probed", int64(probed)), trace.I("alive", int64(alive)))
+	if c.reg != nil {
+		c.reg.Gauge("fleet.alive").Set(int64(alive))
+		for _, name := range c.order {
+			var load int64
+			for _, g := range c.gorder {
+				a := c.groups[g]
+				if !a.Orphaned && a.Primary == name {
+					load += a.ops
+				}
+			}
+			c.reg.Gauge("fleet.load." + name).Set(load)
 		}
 	}
 }
@@ -360,16 +443,21 @@ func (c *Coordinator) heartbeat(evs *[]Event) {
 // auditPass runs each live machine's invariant audit; a machine whose
 // kernel/store invariants fail is fail-stopped on the spot.
 func (c *Coordinator) auditPass(evs *[]Event) {
+	sp := c.span(trace.TrackAudit, "fleet.audit")
+	scanned, failed := 0, 0
 	for _, name := range c.order {
 		n := c.nodes[name]
 		if n.dead || n.down {
 			continue
 		}
+		scanned++
 		if rep := n.M.Audit(); !rep.OK() {
+			failed++
 			c.det.Declare(name)
 			c.markDead(n, evs)
 		}
 	}
+	sp.End(trace.I("scanned", int64(scanned)), trace.I("failed", int64(failed)))
 }
 
 // markDead records the coordinator's belief and fails over or reseeds
@@ -377,6 +465,10 @@ func (c *Coordinator) auditPass(evs *[]Event) {
 func (c *Coordinator) markDead(n *Node, evs *[]Event) {
 	n.dead = true
 	c.deaths++
+	c.count("fleet.deaths", 1)
+	if c.tr != nil {
+		c.tr.Instant(trace.TrackFleet, "fleet.dead", trace.S("node", n.Name))
+	}
 	*evs = append(*evs, Event{Kind: EvDead, At: c.clk.Now(), Node: n.Name})
 	for _, name := range c.gorder {
 		a := c.groups[name]
@@ -399,19 +491,33 @@ func (c *Coordinator) markDead(n *Node, evs *[]Event) {
 	}
 }
 
-// failover promotes a's standby after its primary died.
+// failover promotes a's standby after its primary died. The promotion is
+// one span on the coordinator's fleet lane; a matching flow-stitched
+// instant lands on the promoted machine's own tracer, so the merged fleet
+// timeline draws kill -> failover -> promote as one arrow chain across
+// machine tracks.
 func (c *Coordinator) failover(a *Assignment, deadPrimary string, evs *[]Event) {
 	standbyDead := a.Standby == "" || c.nodes[a.Standby].dead
 	if a.rep == nil || standbyDead {
 		a.Orphaned = true
 		c.orphans++
+		c.count("fleet.orphans", 1)
+		if c.tr != nil {
+			c.tr.Instant(trace.TrackFleet, "fleet.orphan",
+				trace.S("group", a.Name), trace.S("node", deadPrimary))
+		}
 		*evs = append(*evs, Event{Kind: EvOrphan, At: c.clk.Now(), Group: a.Name, Node: deadPrimary})
 		return
 	}
+	start := c.clk.Now()
+	sp := c.span(trace.TrackFleet, "fleet.failover",
+		trace.S("group", a.Name), trace.S("from", deadPrimary), trace.S("to", a.Standby))
 	g, _, err := a.rep.Failover(aurora.RestoreEager)
 	if err != nil {
+		sp.End(trace.S("err", err.Error()))
 		a.Orphaned = true
 		c.orphans++
+		c.count("fleet.orphans", 1)
 		*evs = append(*evs, Event{Kind: EvOrphan, At: c.clk.Now(), Group: a.Name, Node: deadPrimary, Err: err})
 		return
 	}
@@ -420,6 +526,27 @@ func (c *Coordinator) failover(a *Assignment, deadPrimary string, evs *[]Event) 
 	a.g, a.rep = g, nil
 	a.Failovers++
 	c.failovers++
+	c.count("fleet.failovers", 1)
+
+	// Latency from the moment the driver cut power (when known; a watchdog
+	// declare has no ground-truth kill time, so fall back to the promotion
+	// itself): detection window plus promote, the number an operator means
+	// by "failover latency".
+	now := c.clk.Now()
+	lat := now - start
+	if dn := c.nodes[deadPrimary]; dn != nil && dn.downAt > 0 && now > dn.downAt {
+		lat = now - dn.downAt
+	}
+	c.observe("fleet.failover.ns", int64(lat))
+	if mtr := c.nodes[newPrimary].M.Tracer; mtr != nil && c.tr != nil {
+		id := int64(telemetry.FlowID(c.src, sp.ID()))
+		mtr.Instant(trace.TrackFleet, "fleet.promote",
+			trace.S("group", a.Name), trace.S("from", deadPrimary),
+			trace.I(telemetry.FlowIn, id))
+		sp.End(trace.I("latency_ns", int64(lat)), trace.I(telemetry.FlowOut, id))
+	} else {
+		sp.End(trace.I("latency_ns", int64(lat)))
+	}
 	*evs = append(*evs, Event{
 		Kind: EvFailover, At: c.clk.Now(), Group: a.Name,
 		From: deadPrimary, To: newPrimary, G: g,
@@ -468,6 +595,11 @@ func (c *Coordinator) reseed(a *Assignment, evs *[]Event) {
 	a.Standby = target.Name
 	a.rep = rep
 	a.held[target.Name] = true
+	c.count("fleet.reseeds", 1)
+	if c.tr != nil {
+		c.tr.Instant(trace.TrackFleet, "fleet.reseed",
+			trace.S("group", a.Name), trace.S("to", target.Name))
+	}
 	if evs != nil {
 		*evs = append(*evs, Event{
 			Kind: EvReseed, At: c.clk.Now(), Group: a.Name,
@@ -506,6 +638,7 @@ func (c *Coordinator) syncPass(evs *[]Event) {
 		}
 		if err := a.rep.Sync(); err != nil {
 			c.syncErrors++
+			c.count("fleet.sync_errors", 1)
 			*evs = append(*evs, Event{
 				Kind: EvSyncError, At: c.clk.Now(), Group: a.Name,
 				From: a.Primary, To: a.Standby, Err: err,
@@ -645,10 +778,14 @@ func (c *Coordinator) MigrateGroup(group, to string) ([]Event, error) {
 // replica handle, and reseeds a standby from the new primary.
 func (c *Coordinator) migrate(a *Assignment, target *Node, evs *[]Event) {
 	src := c.nodes[a.Primary]
+	start := c.clk.Now()
+	sp := c.span(trace.TrackFleet, "fleet.migrate",
+		trace.S("group", a.Name), trace.S("from", src.Name), trace.S("to", target.Name))
 	g, _, err := src.M.MigrateTo(target.M, a.Name, c.cfg.MigrateRounds, a.work)
 	if err != nil {
 		// The group survived in place (migration failure leaves the
 		// source intact); report and move on.
+		sp.End(trace.S("err", err.Error()))
 		*evs = append(*evs, Event{
 			Kind: EvRebalance, At: c.clk.Now(), Group: a.Name,
 			From: src.Name, To: target.Name, Err: err,
@@ -668,6 +805,17 @@ func (c *Coordinator) migrate(a *Assignment, target *Node, evs *[]Event) {
 	a.held[target.Name] = true
 	a.Migrations++
 	c.rebalances++
+	c.count("fleet.migrations", 1)
+	c.observe("fleet.migrate.ns", int64(c.clk.Now()-start))
+	if mtr := target.M.Tracer; mtr != nil && c.tr != nil {
+		id := int64(telemetry.FlowID(c.src, sp.ID()))
+		mtr.Instant(trace.TrackFleet, "fleet.receive",
+			trace.S("group", a.Name), trace.S("from", from),
+			trace.I(telemetry.FlowIn, id))
+		sp.End(trace.I(telemetry.FlowOut, id))
+	} else {
+		sp.End()
+	}
 	*evs = append(*evs, Event{
 		Kind: EvRebalance, At: c.clk.Now(), Group: a.Name,
 		From: from, To: target.Name, G: g,
@@ -744,6 +892,13 @@ func (c *Coordinator) Status() string {
 		}
 		fmt.Fprintf(&b, "  group %-8s primary=%-8s standby=%-8s syncs=%d failovers=%d migrations=%d%s\n",
 			name, a.Primary, standby, a.Syncs, a.Failovers, a.Migrations, state)
+	}
+	if c.slo != nil {
+		brs := c.slo.Breaches()
+		fmt.Fprintf(&b, "  slo: %d breaches\n", len(brs))
+		for _, br := range brs {
+			fmt.Fprintf(&b, "    %s\n", br.String())
+		}
 	}
 	return b.String()
 }

@@ -79,5 +79,23 @@ func (r *Result) WriteArtifacts(dir string) error {
 			return err
 		}
 	}
+	if r.Metrics != nil {
+		// The deterministic fleet metrics snapshot: the telemetry-golden CI
+		// job runs the scenario twice and diffs this file byte-for-byte.
+		blob, err := json.MarshalIndent(r.Metrics, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "metrics.json"), append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if r.TimelineJSON != "" {
+		// The merged fleet Chrome/Perfetto timeline (ui.perfetto.dev): one
+		// process per machine, flow arrows across them.
+		if err := os.WriteFile(filepath.Join(dir, "timeline.json"), []byte(r.TimelineJSON), 0o644); err != nil {
+			return err
+		}
+	}
 	return nil
 }

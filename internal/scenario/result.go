@@ -1,9 +1,12 @@
 package scenario
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"strings"
+
+	"aurora/internal/telemetry"
 )
 
 // Result is the complete, deterministic outcome of one scenario run: what
@@ -26,10 +29,31 @@ type Result struct {
 	Events     []ExecutedEvent   `json:"events"`
 	Groups     []GroupStat       `json:"groups"`
 	Flights    []MachineFlight   `json:"flights"`
+	// Metrics is the end-of-run fleet telemetry snapshot (scenarios with a
+	// telemetry block): per-machine registries in declaration order plus
+	// fleet-merged histograms — the artifact the telemetry-golden CI job
+	// diffs byte-for-byte across two executions.
+	Metrics *telemetry.FleetSnapshot `json:"metrics,omitempty"`
+	// SLOBreaches is every objective violation in fire order: the Eval-time
+	// breaches (also in each machine's flight ring and slo.breaches
+	// counter) plus end-of-run final-at-least verdicts.
+	SLOBreaches []SLOBreach `json:"slo_breaches,omitempty"`
+	// TimelineJSON is the merged fleet Chrome/Perfetto trace (scenarios
+	// with traced machines under a telemetry block). It is an artifact, not
+	// part of the JSON result — WriteArtifacts saves it as timeline.json —
+	// but it is folded into the fingerprint.
+	TimelineJSON string `json:"-"`
 	// Errors are runtime failures recorded mid-run (a sync that exhausted
 	// retries under a partition, a workload that died with its machine).
 	// They are evidence, not verdicts: the assertions judge the run.
 	Errors []string `json:"errors,omitempty"`
+}
+
+// SLOBreach is one objective violation, attributed to the machine whose
+// registry tripped it ("fleet" for the coordinator's).
+type SLOBreach struct {
+	Machine string `json:"machine"`
+	telemetry.Breach
 }
 
 // AssertionResult is one end-of-run check's verdict.
@@ -87,8 +111,8 @@ func (r *Result) Fingerprint() string {
 	w := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
 	w("scenario=%s seed=%d expect=%s elapsed=%d\n", r.Scenario, r.Seed, r.Expect, r.ElapsedNS)
 	for _, a := range r.Assertions {
-		w("assert %s m=%s g=%s ev=%s min=%d maxus=%d max=%d pass=%v detail=%s\n",
-			a.Decl.Kind, a.Decl.Machine, a.Decl.Group, a.Decl.Event, a.Decl.Min, a.Decl.MaxUS, a.Decl.Max, a.Pass, a.Detail)
+		w("assert %s m=%s g=%s ev=%s metric=%s min=%d maxus=%d max=%d pass=%v detail=%s\n",
+			a.Decl.Kind, a.Decl.Machine, a.Decl.Group, a.Decl.Event, a.Decl.Metric, a.Decl.Min, a.Decl.MaxUS, a.Decl.Max, a.Pass, a.Detail)
 	}
 	for _, e := range r.Events {
 		w("event %d %d %s %s err=%s\n", e.AtMS, e.FiredNS, e.Kind, e.Target, e.Err)
@@ -103,6 +127,17 @@ func (r *Result) Fingerprint() string {
 	for _, e := range r.Errors {
 		w("error %s\n", e)
 	}
+	for _, b := range r.SLOBreaches {
+		w("breach %s %s\n", b.Machine, b.Breach)
+	}
+	if r.Metrics != nil {
+		// The whole snapshot, bytes and all: equal fingerprints must mean
+		// the metrics artifact diffs clean too.
+		if blob, err := json.Marshal(r.Metrics); err == nil {
+			h.Write(blob)
+		}
+	}
+	fmt.Fprint(h, r.TimelineJSON)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -162,6 +197,9 @@ func (r *Result) Summary() string {
 			target = a.Decl.Group
 		}
 		fmt.Fprintf(&sb, "  assert %s %-20s %-12s %s\n", mark, a.Decl.Kind, target, a.Detail)
+	}
+	for _, b := range r.SLOBreaches {
+		fmt.Fprintf(&sb, "  breach %s: %s\n", b.Machine, b.Breach)
 	}
 	for _, e := range r.Errors {
 		fmt.Fprintf(&sb, "  note: %s\n", e)

@@ -4,12 +4,16 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"time"
 
 	"aurora"
 	"aurora/internal/clock"
+	"aurora/internal/flight"
 	"aurora/internal/net"
 	"aurora/internal/placement"
+	"aurora/internal/telemetry"
+	"aurora/internal/trace"
 )
 
 // RunOptions tune one scenario execution.
@@ -88,7 +92,49 @@ type runner struct {
 	// placement block; it owns every group's standby.
 	coord *placement.Coordinator
 
+	// tele is the metrics plane, non-nil when the scenario declares a
+	// telemetry block.
+	tele *teleState
+
 	res *Result
+}
+
+// teleState is the runner's metrics plane: one registry per machine (hung
+// off aurora.Machine by Config.Telemetry), one SLO watch per registry, a
+// separate registry+tracer for the placement coordinator, and the fleet
+// aggregation the snapshot and metric assertions read.
+type teleState struct {
+	decl  *TelemetryDecl
+	rules []telemetry.SLO
+	fleet *telemetry.Fleet
+	// watches evaluates rules per machine; the coordinator's registry gets
+	// its own watch so fleet.* metrics are judged where they live.
+	watches    map[string]*telemetry.Watch
+	coordReg   *telemetry.Registry
+	coordTr    *trace.Tracer
+	coordWatch *telemetry.Watch
+	lastSample int64 // virtual ms of the last sampler tick
+}
+
+// sloRules compiles the declared objectives into engine rules, in
+// declaration order.
+func sloRules(decl *TelemetryDecl) []telemetry.SLO {
+	rules := make([]telemetry.SLO, 0, len(decl.SLOs))
+	for _, sd := range decl.SLOs {
+		var kind telemetry.SLOKind
+		switch sd.Kind {
+		case SLOP99Under:
+			kind = telemetry.SLOP99Under
+		case SLOMaxUnder:
+			kind = telemetry.SLOMaxUnder
+		case SLOFinalAtLeast:
+			kind = telemetry.SLOFinalAtLeast
+		}
+		rules = append(rules, telemetry.SLO{
+			Name: sd.Name, Metric: sd.Metric, Kind: kind, Bound: sd.Bound,
+		})
+	}
+	return rules
 }
 
 // Run executes a validated scenario and returns its Result. Setup failures
@@ -154,9 +200,11 @@ func (r *runner) setup() error {
 			storage = 256 << 20
 		}
 		cfg := aurora.Config{
+			Name:         md.Name,
 			StorageBytes: storage,
 			Clock:        r.clk,
 			Trace:        md.Trace,
+			Telemetry:    r.sc.Telemetry != nil,
 			// Every scenario machine carries a (disarmed) fault device so
 			// events can cut power or rot media at any point.
 			Fault: &aurora.FaultPlan{
@@ -171,6 +219,22 @@ func (r *runner) setup() error {
 		ms := &machineState{decl: md, m: m}
 		r.machines[md.Name] = ms
 		r.machineOrder = append(r.machineOrder, md.Name)
+	}
+
+	if td := r.sc.Telemetry; td != nil {
+		r.tele = &teleState{
+			decl:    td,
+			rules:   sloRules(td),
+			fleet:   telemetry.NewFleet(),
+			watches: make(map[string]*telemetry.Watch),
+		}
+		for _, name := range r.machineOrder {
+			ms := r.machines[name]
+			w := telemetry.NewWatch(r.tele.rules)
+			r.tele.watches[name] = w
+			ms.m.AttachSLO(w)
+			r.tele.fleet.Add(name, ms.m.Metrics)
+		}
 	}
 
 	tick := r.tick()
@@ -247,6 +311,18 @@ func (r *runner) setup() error {
 			}
 		}
 		r.coord = placement.New(r.clk, cfg)
+		if r.tele != nil {
+			// The coordinator gets its own registry and tracer: fleet.*
+			// counters and failover/migration latency histograms live here,
+			// and its placement-decision spans join the merged timeline as
+			// the "coordinator" process.
+			r.tele.coordReg = telemetry.New(r.clk)
+			r.tele.coordTr = trace.New(r.clk)
+			r.tele.coordWatch = telemetry.NewWatch(r.tele.rules)
+			r.coord.Instrument(r.tele.coordTr, r.tele.coordReg)
+			r.coord.WatchSLO(r.tele.coordWatch)
+			r.tele.fleet.Add("fleet", r.tele.coordReg)
+		}
 		for _, name := range r.machineOrder {
 			if _, err := r.coord.AddMachine(name, r.machines[name].m); err != nil {
 				return fmt.Errorf("placement: %w", err)
@@ -360,6 +436,11 @@ func (r *runner) drive() {
 			r.applyFleetEvents(r.coord.Tick())
 		}
 
+		if t := r.tele; t != nil && nowMS-t.lastSample >= t.decl.EffectiveSampleEvery() {
+			t.lastSample = nowMS
+			r.sampleTelemetry()
+		}
+
 		if clk.Now() < target {
 			clk.Advance(target - clk.Now())
 		}
@@ -374,6 +455,39 @@ func (r *runner) drive() {
 		}
 		nextEv++
 	}
+}
+
+// sampleTelemetry is one sampler-cadence tick: every registry snapshots
+// its counters/gauges/histogram-p99s into their time series, then the SLO
+// watch runs. A fired breach lands in three places at once — the hosting
+// machine's flight recorder (slo.breach), its registry's slo.breaches
+// counter (the sls.slo audit family cross-checks counter against breach
+// log), and the run result.
+func (r *runner) sampleTelemetry() {
+	now := r.clk.Now()
+	for _, name := range r.machineOrder {
+		ms := r.machines[name]
+		reg := ms.m.Metrics
+		reg.Sample()
+		for _, b := range r.tele.watches[name].Eval(reg, now) {
+			reg.Counter("slo.breaches").Add(1)
+			ms.m.Flight.Record(int64(now), flight.EvSLOBreach,
+				b.Value, b.Bound, int64(now/time.Microsecond), b.SLO)
+			r.recordBreach(name, b)
+		}
+	}
+	if cr := r.tele.coordReg; cr != nil {
+		cr.Sample()
+		for _, b := range r.tele.coordWatch.Eval(cr, now) {
+			cr.Counter("slo.breaches").Add(1)
+			r.recordBreach("fleet", b)
+		}
+	}
+}
+
+func (r *runner) recordBreach(machine string, b telemetry.Breach) {
+	r.res.SLOBreaches = append(r.res.SLOBreaches, SLOBreach{Machine: machine, Breach: b})
+	r.logf("slo breach on %s: %s", machine, b)
 }
 
 func (r *runner) recordErr(format string, args ...any) {
@@ -509,6 +623,12 @@ func (r *runner) firePowerCut(e EventDecl) {
 		return
 	}
 	ms.m = m2
+	if r.tele != nil {
+		// The registry rode across the reboot but the watch attachment is
+		// volatile machine state — re-point the fresh incarnation's auditor
+		// at the same watch so the sls.slo cross-check keeps running.
+		m2.AttachSLO(r.tele.watches[e.Machine])
+	}
 	// Volatile state is gone: every group hosted here is down until an
 	// explicit restore (or failover on its standby) brings it back, and
 	// every replication touching this machine loses its live handles.
@@ -748,6 +868,34 @@ func (r *runner) fireCheckpoint(e EventDecl) {
 func (r *runner) finish() {
 	r.res.ElapsedNS = int64(r.clk.Now())
 
+	if r.tele != nil {
+		// One last sampler tick so the final counter totals land in the
+		// series, then the end-of-run SLO pass: final-at-least objectives
+		// only have a verdict now that the run is over.
+		r.sampleTelemetry()
+		now := r.clk.Now()
+		finalEval := func(machine string, w *telemetry.Watch, reg *telemetry.Registry) {
+			for _, b := range w.Final(reg, now) {
+				if b.Kind == telemetry.SLOFinalAtLeast.String() {
+					r.recordBreach(machine, b)
+				}
+			}
+		}
+		for _, name := range r.machineOrder {
+			finalEval(name, r.tele.watches[name], r.machines[name].m.Metrics)
+		}
+		if r.tele.coordReg != nil {
+			finalEval("fleet", r.tele.coordWatch, r.tele.coordReg)
+		}
+		snap := r.tele.fleet.FleetSnapshot()
+		snap.Breaches = make([]telemetry.Breach, 0, len(r.res.SLOBreaches))
+		for _, b := range r.res.SLOBreaches {
+			snap.Breaches = append(snap.Breaches, b.Breach)
+		}
+		r.res.Metrics = &snap
+		r.res.TimelineJSON = r.fleetTimeline()
+	}
+
 	for _, name := range r.machineOrder {
 		ms := r.machines[name]
 		r.res.Flights = append(r.res.Flights, MachineFlight{
@@ -796,6 +944,32 @@ func (r *runner) finish() {
 	} else {
 		r.res.Passed = allOK
 	}
+}
+
+// fleetTimeline merges every traced machine's tracer — plus the placement
+// coordinator's, when instrumented — into one Chrome/Perfetto trace: one
+// process per machine, cross-machine causality (replication ships,
+// kill -> failover -> promote chains) drawn as flow arrows. Empty when no
+// machine declared trace: true.
+func (r *runner) fleetTimeline() string {
+	var ms []telemetry.MachineTimeline
+	for _, name := range r.machineOrder {
+		if m := r.machines[name].m; m.Tracer != nil {
+			ms = append(ms, telemetry.MachineTimeline{Name: name, T: m.Tracer})
+		}
+	}
+	if len(ms) == 0 {
+		return ""
+	}
+	if r.tele.coordTr != nil {
+		ms = append(ms, telemetry.MachineTimeline{Name: "coordinator", T: r.tele.coordTr})
+	}
+	var sb strings.Builder
+	if err := telemetry.WriteFleetChrome(&sb, ms); err != nil {
+		r.recordErr("fleet timeline export: %v", err)
+		return ""
+	}
+	return sb.String()
 }
 
 // combinedFlight assembles a machine's forensic timeline: the ring the
@@ -915,8 +1089,86 @@ func (r *runner) evaluate(a AssertionDecl) AssertionResult {
 	case AssertRollbacksAtMost:
 		gs := r.groups[a.Group]
 		return pass(gs.rollbacks <= a.Max, "%d speculation rollback(s) (want <= %d)", gs.rollbacks, a.Max)
+	case AssertMetricP99Under:
+		h := r.metricHistogram(a)
+		if h == nil || h.Samples() == 0 {
+			return pass(false, "no samples for metric %q", a.Metric)
+		}
+		p99 := h.Quantile(0.99)
+		return pass(p99 < a.Max, "%s p99 %dns over %d samples (want < %dns)%s",
+			a.Metric, p99, h.Samples(), a.Max, r.metricScope(a))
+	case AssertMetricMaxUnder:
+		max, found := int64(0), false
+		for _, reg := range r.metricRegistries(a) {
+			for _, p := range reg.SeriesPoints(a.Metric) {
+				found = true
+				if p.V > max {
+					max = p.V
+				}
+			}
+		}
+		if !found {
+			return pass(false, "no series for metric %q", a.Metric)
+		}
+		return pass(max < a.Max, "%s max %d (want < %d)%s", a.Metric, max, a.Max, r.metricScope(a))
+	case AssertMetricFinalAtLeast:
+		total, found := int64(0), false
+		for _, reg := range r.metricRegistries(a) {
+			if pts := reg.SeriesPoints(a.Metric); len(pts) > 0 {
+				found = true
+				total += pts[len(pts)-1].V
+			}
+		}
+		if !found {
+			return pass(false, "no series for metric %q", a.Metric)
+		}
+		return pass(total >= min, "%s final %d (want >= %d)%s", a.Metric, total, min, r.metricScope(a))
 	}
 	return pass(false, "unknown assertion kind %q", a.Kind)
+}
+
+// metricRegistries resolves the registries a metric assertion reads: one
+// machine's when `machine` is set, otherwise every fleet member plus the
+// coordinator's, in registration order.
+func (r *runner) metricRegistries(a AssertionDecl) []*telemetry.Registry {
+	if r.tele == nil {
+		return nil
+	}
+	if a.Machine != "" {
+		return []*telemetry.Registry{r.machines[a.Machine].m.Metrics}
+	}
+	regs := make([]*telemetry.Registry, 0, len(r.machineOrder)+1)
+	for _, name := range r.machineOrder {
+		regs = append(regs, r.machines[name].m.Metrics)
+	}
+	if r.tele.coordReg != nil {
+		regs = append(regs, r.tele.coordReg)
+	}
+	return regs
+}
+
+// metricHistogram merges the named histogram across the assertion's scope.
+func (r *runner) metricHistogram(a AssertionDecl) *trace.Histogram {
+	var out *trace.Histogram
+	for _, reg := range r.metricRegistries(a) {
+		h := reg.HistogramCopy(a.Metric)
+		if h == nil {
+			continue
+		}
+		if out == nil {
+			out = trace.NewHistogram(a.Metric)
+		}
+		out.Merge(h)
+	}
+	return out
+}
+
+// metricScope labels the assertion detail with where the metric was read.
+func (r *runner) metricScope(a AssertionDecl) string {
+	if a.Machine != "" {
+		return " on " + a.Machine
+	}
+	return " fleet-wide"
 }
 
 // p99us returns the 99th-percentile of the samples in microseconds.

@@ -53,8 +53,50 @@ type Scenario struct {
 	Workloads    []WorkloadDecl  `json:"workloads,omitempty"`
 	Replications []ReplDecl      `json:"replications,omitempty"`
 	Placement    *PlacementDecl  `json:"placement,omitempty"`
+	Telemetry    *TelemetryDecl  `json:"telemetry,omitempty"`
 	Events       []EventDecl     `json:"events,omitempty"`
 	Assertions   []AssertionDecl `json:"assertions"`
+}
+
+// TelemetryDecl turns on the metrics plane (internal/telemetry): every
+// machine gets a typed registry the SLS hooks feed, the runner samples
+// them into time-series on the declared cadence, and the declared SLO
+// rules are evaluated each sample — a fired breach lands in the flight
+// recorder (slo.breach), the slo.breaches counter, and the result. The
+// run's artifacts gain a deterministic fleet metrics snapshot
+// (metrics.json) and, when machines are traced, one merged fleet
+// timeline (timeline.json) with cross-machine flow arrows.
+type TelemetryDecl struct {
+	SampleEveryMS int64     `json:"sample_every_ms,omitempty"` // sampler cadence (default 5)
+	SLOs          []SLODecl `json:"slos,omitempty"`
+}
+
+// EffectiveSampleEvery resolves the sampler cadence or its default.
+func (t *TelemetryDecl) EffectiveSampleEvery() int64 {
+	if t.SampleEveryMS > 0 {
+		return t.SampleEveryMS
+	}
+	return 5
+}
+
+// SLO rule kinds, mirroring telemetry.SLOKind.
+const (
+	SLOP99Under     = "p99-under"      // histogram p99 must stay under bound
+	SLOMaxUnder     = "max-under"      // series max must stay under bound
+	SLOFinalAtLeast = "final-at-least" // series last value must reach bound
+)
+
+var sloKinds = []string{SLOP99Under, SLOMaxUnder, SLOFinalAtLeast}
+
+// SLODecl is one declarative objective over a registry metric, evaluated
+// per machine on the sampler cadence (final-at-least only at end of run).
+// Bound units match the metric's units — nanoseconds for the .ns latency
+// histograms the SLS hooks export.
+type SLODecl struct {
+	Name   string `json:"name"`
+	Metric string `json:"metric"`
+	Kind   string `json:"kind"`
+	Bound  int64  `json:"bound"`
 }
 
 // PlacementDecl turns on the fleet coordinator (internal/placement): every
@@ -267,6 +309,12 @@ const (
 	// group: speculation rollbacks across the run <= max (default 0 — a
 	// clean image must validate without ever falling back to serial).
 	AssertRollbacksAtMost = "rollbacks-at-most"
+	// Metric assertions (need a telemetry block). Each reads a named
+	// registry metric — from one machine when `machine` is set, else
+	// fleet-wide (histograms merge exactly; series reduce across members).
+	AssertMetricMaxUnder     = "metric-max-under"      // series max < max
+	AssertMetricP99Under     = "metric-p99-under"      // histogram p99 < max
+	AssertMetricFinalAtLeast = "metric-final-at-least" // series last >= min
 )
 
 var assertionKinds = []string{
@@ -274,7 +322,8 @@ var assertionKinds = []string{
 	AssertStandbyMinEpoch, AssertSyncsAtLeast, AssertOpsAtLeast, AssertCkptsAtLeast,
 	AssertGroupOn, AssertP99StopUnderUS, AssertRestoreUnderUS,
 	AssertDurableWindowUnderUS, AssertFleetHealth, AssertFailoversAtLeast,
-	AssertRollbacksAtMost,
+	AssertRollbacksAtMost, AssertMetricMaxUnder, AssertMetricP99Under,
+	AssertMetricFinalAtLeast,
 }
 
 // AssertionDecl is one end-of-run check.
@@ -285,9 +334,12 @@ type AssertionDecl struct {
 	Event   string `json:"event,omitempty"` // flight-contains: flight kind name, e.g. "power.cut"
 	Min     int64  `json:"min,omitempty"`   // thresholds (counts, epochs); default 1
 	MaxUS   int64  `json:"max_us,omitempty"`
-	// Max is the at-most bound (rollbacks-at-most); unlike Min it does
-	// not default — 0 means none allowed.
+	// Max is the at-most bound (rollbacks-at-most, metric-*-under); unlike
+	// Min it does not default — 0 means none allowed.
 	Max int64 `json:"max,omitempty"`
+	// Metric names the registry metric a metric-* assertion reads, e.g.
+	// "sls.stop.ns" or "fleet.failover.ns".
+	Metric string `json:"metric,omitempty"`
 }
 
 // Parse decodes a scenario from YAML (or JSON — valid JSON is a YAML
@@ -416,6 +468,32 @@ func (s *Scenario) Validate() error {
 		}
 		if p.HeartbeatDrop < 0 || p.HeartbeatDrop >= 1 {
 			bad("placement.heartbeat_drop: probability must be in [0,1), got %g", p.HeartbeatDrop)
+		}
+	}
+
+	if t := s.Telemetry; t != nil {
+		if t.SampleEveryMS < 0 {
+			bad("telemetry.sample_every_ms: must not be negative, got %d", t.SampleEveryMS)
+		}
+		sloNames := map[string]bool{}
+		for i, r := range t.SLOs {
+			at := fmt.Sprintf("telemetry.slos[%d]", i)
+			if r.Name == "" {
+				bad("%s.name: required", at)
+			}
+			if sloNames[r.Name] {
+				bad("%s: duplicate slo %q", at, r.Name)
+			}
+			sloNames[r.Name] = true
+			if r.Metric == "" {
+				bad("%s.metric: required", at)
+			}
+			if !contains(sloKinds, r.Kind) {
+				bad("%s.kind: unknown slo kind %q (want one of %s)", at, r.Kind, strings.Join(sloKinds, ", "))
+			}
+			if r.Bound <= 0 {
+				bad("%s.bound: needs a positive bound", at)
+			}
 		}
 	}
 
@@ -599,6 +677,19 @@ func (s *Scenario) Validate() error {
 		case AssertFleetHealth, AssertFailoversAtLeast:
 			if s.Placement == nil {
 				bad("%s: %s needs a placement block", at, a.Kind)
+			}
+		case AssertMetricMaxUnder, AssertMetricP99Under, AssertMetricFinalAtLeast:
+			if s.Telemetry == nil {
+				bad("%s: %s needs a telemetry block", at, a.Kind)
+			}
+			if a.Metric == "" {
+				bad("%s.metric: required", at)
+			}
+			if a.Machine != "" && !machines[a.Machine] {
+				bad("%s.machine: no machine %q", at, a.Machine)
+			}
+			if a.Kind != AssertMetricFinalAtLeast && a.Max <= 0 {
+				bad("%s.max: needs a positive bound", at)
 			}
 		case "":
 			bad("%s.kind: required", at)
@@ -819,6 +910,30 @@ func (d *decoder) scenario(raw map[string]any) *Scenario {
 		d.noExtra(o, path)
 		sc.Replications = append(sc.Replications, rd)
 	}
+	if v, ok := m["telemetry"]; ok {
+		delete(m, "telemetry")
+		obj, isObj := v.(map[string]any)
+		if !isObj {
+			d.fail("scenario.telemetry", "want an object, got %s", typeName(v))
+		} else {
+			td := &TelemetryDecl{
+				SampleEveryMS: d.i64(obj, "telemetry", "sample_every_ms"),
+			}
+			for i, o := range d.objects(obj, "telemetry", "slos") {
+				path := fmt.Sprintf("telemetry.slos[%d]", i)
+				sd := SLODecl{
+					Name:   d.str(o, path, "name"),
+					Metric: d.str(o, path, "metric"),
+					Kind:   d.str(o, path, "kind"),
+					Bound:  d.i64(o, path, "bound"),
+				}
+				d.noExtra(o, path)
+				td.SLOs = append(td.SLOs, sd)
+			}
+			d.noExtra(obj, "telemetry")
+			sc.Telemetry = td
+		}
+	}
 	if v, ok := m["placement"]; ok {
 		delete(m, "placement")
 		obj, isObj := v.(map[string]any)
@@ -867,6 +982,7 @@ func (d *decoder) scenario(raw map[string]any) *Scenario {
 			Min:     d.i64(o, path, "min"),
 			MaxUS:   d.i64(o, path, "max_us"),
 			Max:     d.i64(o, path, "max"),
+			Metric:  d.str(o, path, "metric"),
 		}
 		d.noExtra(o, path)
 		sc.Assertions = append(sc.Assertions, ad)

@@ -213,6 +213,7 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 		g.lastCkpt = o.Clk.Now()
 		g.ckpts++
 		ckptSpan.End()
+		o.recordCheckpointMetrics(st, false)
 		return st, nil
 	}
 
@@ -287,6 +288,7 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 				tr.Count("sls.flush_bytes", st.FlushBytes)
 			}
 			ckptSpan.End(trace.I("epoch", int64(st.Epoch)), trace.I("wal_seq", int64(st.WALSeq)))
+			o.recordCheckpointMetrics(st, true)
 			return st, nil
 		}
 		if !errors.Is(werr, objstore.ErrWALFull) {
@@ -317,11 +319,37 @@ func (g *Group) Checkpoint(kind CheckpointKind) (CheckpointStats, error) {
 		tr.Count("sls.flush_bytes", st.FlushBytes)
 	}
 	ckptSpan.End(trace.I("epoch", int64(st.Epoch)))
+	o.recordCheckpointMetrics(st, false)
 
 	if g.RetainEpochs > 0 && int(cst.Epoch) > g.RetainEpochs {
 		o.Store.ReleaseCheckpointsBefore(cst.Epoch - objstore.Epoch(g.RetainEpochs) + 1)
 	}
 	return st, nil
+}
+
+// recordCheckpointMetrics feeds the telemetry plane after one checkpoint:
+// the paper's continuous-time claims as histograms (the sampler turns
+// their p99 into time series), plus commit counters. The durable window
+// is the span from commit to the moment the write settles — 0 when the
+// device already caught up.
+func (o *Orchestrator) recordCheckpointMetrics(st CheckpointStats, wal bool) {
+	reg := o.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("sls.ckpt.total").Add(1)
+	reg.Observe("sls.stop.ns", int64(st.StopTime))
+	if st.DurableAt > 0 {
+		window := st.DurableAt - o.Clk.Now()
+		if window < 0 {
+			window = 0
+		}
+		reg.Observe("sls.durable.window.ns", int64(window))
+		if wal {
+			reg.Counter("sls.wal.commits").Add(1)
+			reg.Observe("sls.wal.window.ns", int64(window))
+		}
+	}
 }
 
 // Barrier waits until the group's last checkpoint is durable and releases

@@ -8,6 +8,7 @@ import (
 	"aurora/internal/flight"
 	"aurora/internal/net"
 	"aurora/internal/objstore"
+	"aurora/internal/telemetry"
 	"aurora/internal/trace"
 )
 
@@ -206,6 +207,17 @@ func (r *Replica) ship(since objstore.Epoch, cutStart time.Duration) error {
 // apply collects a completed transfer from the connection and applies it to
 // the standby store.
 func (r *Replica) apply(epoch uint64, newBase objstore.Epoch, n int64, cutStart time.Duration) error {
+	// Close the cross-machine flow before Take clears the session: the
+	// frame header carried the sender's trace-context, so the standby's
+	// apply instant gets the matching flow id and the merged fleet
+	// timeline draws ship -> apply as one arrow across machine tracks.
+	if dtr := r.dst.Tracer; dtr != nil {
+		if src, span, ok := r.conn.SessionContext(epoch); ok {
+			dtr.Instant(trace.TrackNet, "net.apply",
+				trace.I("epoch", int64(epoch)),
+				trace.I(telemetry.FlowIn, int64(telemetry.FlowID(src, span))))
+		}
+	}
 	payload, ok := r.conn.Take(epoch)
 	if !ok {
 		return fmt.Errorf("sls: transfer for epoch %d reported done but is not takeable", epoch)
@@ -228,6 +240,10 @@ func (r *Replica) commit(newBase objstore.Epoch, n int64, cutStart time.Duration
 		tr.Count("sls.replica.syncs", 1)
 		tr.Count("sls.replica.bytes", n)
 		tr.Observe("sls.replica.lag.ns", int64(r.LastLag))
+	}
+	if reg := r.g.o.Metrics; reg != nil {
+		reg.Counter("sls.replica.syncs").Add(1)
+		reg.Observe("sls.replica.lag.ns", int64(r.LastLag))
 	}
 }
 

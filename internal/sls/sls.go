@@ -23,6 +23,7 @@ import (
 	"aurora/internal/clock"
 	"aurora/internal/kern"
 	"aurora/internal/objstore"
+	"aurora/internal/telemetry"
 	"aurora/internal/trace"
 	"aurora/internal/vm"
 )
@@ -142,6 +143,12 @@ type Orchestrator struct {
 	// together with Store.SetTracer and the device's SetTracer so all
 	// layers share one timeline).
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, is the machine's telemetry registry: the
+	// paper's continuous-time claims (stop time, durable window, WAL
+	// window, time-to-first-op, replication lag) recorded at the source
+	// as histograms, for the sampler to turn into time series. Nil-safe
+	// like the tracer: every hook costs one pointer check when disabled.
+	Metrics *telemetry.Registry
 
 	mu        sync.Mutex
 	groups    map[uint64]*Group

@@ -42,8 +42,19 @@ const (
 	TrackDevice                // per-submit device activity
 	TrackFault                 // injected faults
 	TrackNet                   // replication wire: transfers, retries, link faults
+	TrackFleet                 // placement decisions: heartbeat scans, failover, rebalance
+	TrackAudit                 // watchdog sweeps and SLO breaches
 	numTracks
 )
+
+// Tracks returns every defined lane in export order.
+func Tracks() []Track {
+	out := make([]Track, 0, numTracks)
+	for t := Track(0); t < numTracks; t++ {
+		out = append(out, t)
+	}
+	return out
+}
 
 // String names the track as exported.
 func (t Track) String() string {
@@ -60,6 +71,10 @@ func (t Track) String() string {
 		return "fault"
 	case TrackNet:
 		return "net"
+	case TrackFleet:
+		return "fleet"
+	case TrackAudit:
+		return "audit"
 	}
 	return fmt.Sprintf("track%d", uint8(t))
 }
@@ -304,6 +319,62 @@ type Histogram struct {
 	max     int64
 	buckets [65]int64
 }
+
+// NewHistogram returns an empty standalone histogram — the same log2
+// bucketing the tracer uses, constructible outside a Tracer so telemetry
+// registries and fleet aggregation share one quantile implementation.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{name: name, min: int64(^uint64(0) >> 1)}
+}
+
+// Name returns the histogram's name.
+func (h *Histogram) Name() string { return h.name }
+
+// Add records one observation. Negative values clamp to zero, matching
+// the tracer's Observe path.
+func (h *Histogram) Add(v int64) { h.observe(v) }
+
+// Samples returns the observation count.
+func (h *Histogram) Samples() int64 { return h.count }
+
+// Quantile returns the bucket-midpoint estimate for q in [0, 1], clamped
+// into [min, max]. An empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return h.quantile(q)
+}
+
+// Merge folds o into h: counts, sums, and buckets add; min/max widen.
+// Because both sides bucket by bit length, merged quantiles stay within
+// the same 2x relative-error bound and are always bounded by the inputs'
+// combined [min, max] envelope. A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Snapshot returns the read-only summary (count, sum, min/max, p50/95/99).
+func (h *Histogram) Snapshot() HistSnapshot { return h.snapshot() }
 
 func (h *Histogram) observe(v int64) {
 	if v < 0 {
